@@ -1,0 +1,77 @@
+//! Criterion end-to-end benchmarks: wall-time to simulate a fixed slice of
+//! each paper workload under each injection policy. One benchmark per
+//! evaluated table/figure family, so regressions in simulator performance
+//! (or accidental work blow-ups in one configuration) show up per-scenario.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use sweeper_core::experiment::{Experiment, ExperimentConfig};
+use sweeper_core::server::{RunOptions, SweeperMode};
+use sweeper_sim::hierarchy::InjectionPolicy;
+use sweeper_workloads::kvs::{KvsConfig, MicaKvs, HEADER_BYTES};
+use sweeper_workloads::l3fwd::{L3Forwarder, L3fwdConfig};
+
+fn small_opts() -> RunOptions {
+    RunOptions {
+        warmup_requests: 500,
+        measure_requests: 2_000,
+        max_cycles: 60_000_000_000,
+        min_warmup_cycles: 0,
+        min_measure_cycles: 0,
+    }
+}
+
+/// Figure 1/5 family: KVS under each injection policy.
+fn bench_kvs_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kvs_2500_requests");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(2_500));
+    let points: [(&str, InjectionPolicy, SweeperMode); 4] = [
+        ("dma", InjectionPolicy::Dma, SweeperMode::Disabled),
+        ("ddio2", InjectionPolicy::Ddio, SweeperMode::Disabled),
+        ("ddio2_sweeper", InjectionPolicy::Ddio, SweeperMode::Enabled),
+        ("ideal", InjectionPolicy::Ideal, SweeperMode::Disabled),
+    ];
+    for (name, policy, sweeper) in points {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &name, |b, _| {
+            b.iter(|| {
+                let cfg = ExperimentConfig::paper_default()
+                    .injection(policy)
+                    .ddio_ways(2)
+                    .sweeper(sweeper)
+                    .rx_buffers_per_core(512)
+                    .packet_bytes(1024 + HEADER_BYTES)
+                    .run_options(small_opts());
+                Experiment::new(cfg, || MicaKvs::new(KvsConfig::paper_default()))
+                    .run_at_rate(15.0e6)
+                    .completed
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Figure 2/7 family: keep-queued L3fwd.
+fn bench_l3fwd_keepqueued(c: &mut Criterion) {
+    let mut group = c.benchmark_group("l3fwd_keepqueued_2500_requests");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(2_500));
+    for depth in [50usize, 250] {
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, &d| {
+            b.iter(|| {
+                let cfg = ExperimentConfig::paper_default()
+                    .ddio_ways(2)
+                    .rx_buffers_per_core(512)
+                    .packet_bytes(1024)
+                    .run_options(small_opts());
+                Experiment::new(cfg, || L3Forwarder::new(L3fwdConfig::l2_resident()))
+                    .run_keep_queued(d)
+                    .completed
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kvs_policies, bench_l3fwd_keepqueued);
+criterion_main!(benches);

@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig1. See `sweeper_bench::figs::fig1`.
+
+fn main() {
+    sweeper_bench::figs::fig1::run();
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig10. See `sweeper_bench::figs::fig10`.
+
+fn main() {
+    sweeper_bench::figs::fig10::run();
+}

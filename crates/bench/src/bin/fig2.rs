@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig2. See `sweeper_bench::figs::fig2`.
+
+fn main() {
+    sweeper_bench::figs::fig2::run();
+}

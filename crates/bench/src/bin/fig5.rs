@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig5. See `sweeper_bench::figs::fig5`.
+
+fn main() {
+    sweeper_bench::figs::fig5::run();
+}

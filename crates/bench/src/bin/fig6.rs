@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig6. See `sweeper_bench::figs::fig6`.
+
+fn main() {
+    sweeper_bench::figs::fig6::run();
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig7. See `sweeper_bench::figs::fig7`.
+
+fn main() {
+    sweeper_bench::figs::fig7::run();
+}

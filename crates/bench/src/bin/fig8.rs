@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig8. See `sweeper_bench::figs::fig8`.
+
+fn main() {
+    sweeper_bench::figs::fig8::run();
+}

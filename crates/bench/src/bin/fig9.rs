@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig9. See `sweeper_bench::figs::fig9`.
+
+fn main() {
+    sweeper_bench::figs::fig9::run();
+}

@@ -1,0 +1,52 @@
+//! Quick paper-scale probe used during development to sanity-check the
+//! simulator's speed and the qualitative trends before running the full
+//! figure harness. Kept as a fast smoke-check entry point.
+
+use std::time::Instant;
+
+use sweeper_core::experiment::{Experiment, ExperimentConfig};
+use sweeper_core::server::{RunOptions, SweeperMode};
+use sweeper_sim::hierarchy::InjectionPolicy;
+use sweeper_workloads::kvs::{KvsConfig, MicaKvs};
+
+fn main() {
+    let opts = RunOptions {
+        warmup_requests: 3_000,
+        measure_requests: 12_000,
+        max_cycles: 30_000_000_000,
+        min_warmup_cycles: 0,
+        min_measure_cycles: 0,
+    };
+    let base = ExperimentConfig::paper_default()
+        .rx_buffers_per_core(1024)
+        .packet_bytes(1024 + 64)
+        .run_options(opts);
+
+    for (label, cfg) in [
+        ("DMA", base.clone().injection(InjectionPolicy::Dma)),
+        ("DDIO 2w", base.clone().ddio_ways(2)),
+        (
+            "DDIO 2w + Sweeper",
+            base.clone().ddio_ways(2).sweeper(SweeperMode::Enabled),
+        ),
+        ("Ideal", base.clone().injection(InjectionPolicy::Ideal)),
+    ] {
+        let t0 = Instant::now();
+        let exp = Experiment::new(cfg, || MicaKvs::new(KvsConfig::paper_default()));
+        let report = exp.run_at_rate(20.0e6);
+        println!(
+            "{label:>18}: {:.1} Mrps  bw {:.1} GB/s  acc/req {:.1}  p99 {} cyc  goodput {:.3}  ({:.2?} wall)",
+            report.throughput_mrps(),
+            report.memory_bandwidth_gbps(),
+            report.total_accesses_per_request(),
+            report.request_latency.percentile(0.99),
+            report.goodput_ratio(),
+            t0.elapsed(),
+        );
+        for (class, v) in report.accesses_per_request() {
+            if v > 0.005 {
+                println!("{:>22}{class}: {v:.2}", "");
+            }
+        }
+    }
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's table1. See `sweeper_bench::figs::table1`.
+
+fn main() {
+    sweeper_bench::figs::table1::run();
+}

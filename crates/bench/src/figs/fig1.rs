@@ -1,0 +1,70 @@
+//! Figure 1 — *KVS application demonstrating performance effect of network
+//! data leaks* (§IV-A).
+//!
+//! MICA KVS, 1 KB items, 24 cores; RX buffers per core ∈ {512, 1024, 2048};
+//! baselines DMA, DDIO {2, 4, 6} ways, and Ideal-DDIO. Reports:
+//!
+//! * (a) peak application throughput (Mrps),
+//! * (b) memory bandwidth utilization at each configuration's peak (GB/s),
+//! * (c) the per-request memory-access breakdown.
+
+use sweeper_core::experiment::PeakCriteria;
+
+use crate::{f1, format_breakdown, kvs_experiment, SystemPoint, Table};
+
+/// RX ring depths swept on the x-axis.
+pub const BUFFERS: [usize; 3] = [512, 1024, 2048];
+
+/// The baseline configurations of §III.
+pub fn points() -> Vec<SystemPoint> {
+    vec![
+        SystemPoint::dma(),
+        SystemPoint::ddio(2),
+        SystemPoint::ddio(4),
+        SystemPoint::ddio(6),
+        SystemPoint::ideal(),
+    ]
+}
+
+/// Runs the experiment and emits the three sub-figures.
+pub fn run() {
+    let mut fig_a = Table::new(
+        "Figure 1a — KVS peak throughput (Mrps), 1KB items",
+        &["config", "rx=512", "rx=1024", "rx=2048"],
+    );
+    let mut fig_b = Table::new(
+        "Figure 1b — memory bandwidth at peak (GB/s)",
+        &["config", "rx=512", "rx=1024", "rx=2048"],
+    );
+    let mut fig_c = Table::new(
+        "Figure 1c — memory accesses per KVS request",
+        &["rx/core", "config", "breakdown"],
+    );
+
+    for point in points() {
+        let mut tputs = vec![point.label()];
+        let mut bws = vec![point.label()];
+        for bufs in BUFFERS {
+            let exp = kvs_experiment(point, 1024, bufs, 4);
+            let peak = exp.find_peak(PeakCriteria::default());
+            tputs.push(f1(peak.throughput_mrps()));
+            bws.push(f1(peak.report.memory_bandwidth_gbps()));
+            fig_c.row(vec![
+                bufs.to_string(),
+                point.label(),
+                format_breakdown(&peak.report),
+            ]);
+            eprintln!(
+                "[fig1] {} rx={bufs}: {:.1} Mrps",
+                point.label(),
+                peak.throughput_mrps()
+            );
+        }
+        fig_a.row(tputs);
+        fig_b.row(bws);
+    }
+
+    fig_a.emit("fig1a");
+    fig_b.emit("fig1b");
+    fig_c.emit("fig1c");
+}

@@ -1,0 +1,92 @@
+//! Figure 10 — *Effect of buffer provisioning on performance of workload
+//! with spiky behavior* (§VI-F).
+//!
+//! The shallow-buffering study: the KVS with random [1, 100] µs processing
+//! delay spikes, 1 KB request packets, default 2-way DDIO.
+//!
+//! * **(a)** peak throughput achievable *without packet drops* as a function
+//!   of the per-core buffer depth (128 … 2048), baseline vs Sweeper.
+//! * **(b)** packet-drop rate as a function of the arrival rate for 128 and
+//!   2048 buffers (and 2048 + Sweeper).
+
+use sweeper_core::experiment::{Experiment, ExperimentConfig, PeakCriteria};
+use sweeper_core::server::SweeperMode;
+use sweeper_workloads::kvs::{KvsConfig, MicaKvs, HEADER_BYTES};
+use sweeper_workloads::spiky::{SpikeConfig, Spiky};
+
+use crate::{f1, wrapped_run_options, Table};
+
+/// Buffer depths swept in Figure 10a.
+pub const BUFFERS: [usize; 5] = [128, 256, 512, 1024, 2048];
+
+/// Arrival rates swept in Figure 10b (Mrps).
+pub const RATES_MRPS: [f64; 7] = [5.0, 10.0, 15.0, 20.0, 30.0, 40.0, 50.0];
+
+/// Builds the spiky-KVS experiment.
+pub fn spiky_experiment(rx_buffers: usize, sweeper: SweeperMode) -> Experiment {
+    let cfg = ExperimentConfig::paper_default()
+        .ddio_ways(2)
+        .sweeper(sweeper)
+        .rx_buffers_per_core(rx_buffers)
+        .packet_bytes(1024 + HEADER_BYTES)
+        .run_options(wrapped_run_options(24, rx_buffers));
+    Experiment::new(cfg, || {
+        Spiky::new(
+            MicaKvs::new(KvsConfig::paper_default()),
+            SpikeConfig::paper_default(),
+        )
+    })
+}
+
+/// Runs the experiment and emits both sub-figures.
+pub fn run() {
+    // ---- (a) no-drop peak vs buffer depth ----
+    let mut fig_a = Table::new(
+        "Figure 10a — peak throughput without packet drops (Mrps), 2-way DDIO",
+        &["rx/core", "Baseline", "Sweeper"],
+    );
+    for bufs in BUFFERS {
+        let mut cells = vec![bufs.to_string()];
+        for sweeper in [SweeperMode::Disabled, SweeperMode::Enabled] {
+            let exp = spiky_experiment(bufs, sweeper);
+            let peak = exp.find_peak(PeakCriteria::no_drops());
+            cells.push(f1(peak.throughput_mrps()));
+            eprintln!(
+                "[fig10a] rx={bufs} {sweeper}: {:.1} Mrps (no drops)",
+                peak.throughput_mrps()
+            );
+        }
+        fig_a.row(cells);
+    }
+    fig_a.emit("fig10a");
+
+    // ---- (b) drop rate vs arrival rate ----
+    let mut fig_b = Table::new(
+        "Figure 10b — packet drop rate (%) vs arrival rate (Mrps)",
+        &[
+            "rate (Mrps)",
+            "128 buffers",
+            "2048 buffers",
+            "2048 + Sweeper",
+        ],
+    );
+    let series = [
+        (128usize, SweeperMode::Disabled),
+        (2048, SweeperMode::Disabled),
+        (2048, SweeperMode::Enabled),
+    ];
+    for rate in RATES_MRPS {
+        let mut cells = vec![format!("{rate:.0}")];
+        for (bufs, sweeper) in series {
+            let exp = spiky_experiment(bufs, sweeper);
+            let report = exp.run_at_rate(rate * 1e6);
+            cells.push(format!("{:.3}", report.drop_rate() * 100.0));
+            eprintln!(
+                "[fig10b] rate={rate} rx={bufs} {sweeper}: drop {:.3}%",
+                report.drop_rate() * 100.0
+            );
+        }
+        fig_b.row(cells);
+    }
+    fig_b.emit("fig10b");
+}

@@ -1,0 +1,65 @@
+//! Figure 2 — *L3 forwarder NF demonstrating performance effect of network
+//! data leaks* (§IV-B).
+//!
+//! L3fwd with 1 KB packets and 2048 RX buffers per core, operated with the
+//! keep-queued load generator so each core's RX queue always holds at least
+//! *D* unconsumed packets (batching-of-degree-D emulation); D ∈
+//! {50, 250, 450}; DDIO {2, 6, 12} ways and Ideal-DDIO.
+
+use crate::{f1, format_breakdown, l3fwd_experiment, SystemPoint, Table};
+
+/// Queued-packets depths swept on the x-axis.
+pub const DEPTHS: [usize; 3] = [50, 250, 450];
+
+/// The §IV-B configurations.
+pub fn points() -> Vec<SystemPoint> {
+    vec![
+        SystemPoint::ddio(2),
+        SystemPoint::ddio(6),
+        SystemPoint::ddio(12),
+        SystemPoint::ideal(),
+    ]
+}
+
+/// Runs the experiment and emits the three sub-figures.
+pub fn run() {
+    let mut fig_a = Table::new(
+        "Figure 2a — L3fwd throughput (Mrps) under queued packets D",
+        &["config", "D=50", "D=250", "D=450"],
+    );
+    let mut fig_b = Table::new(
+        "Figure 2b — memory bandwidth (GB/s)",
+        &["config", "D=50", "D=250", "D=450"],
+    );
+    let mut fig_c = Table::new(
+        "Figure 2c — memory accesses per packet processed",
+        &["D", "config", "breakdown"],
+    );
+
+    for point in points() {
+        let mut tputs = vec![point.label()];
+        let mut bws = vec![point.label()];
+        for depth in DEPTHS {
+            let exp = l3fwd_experiment(point, 2048);
+            let report = exp.run_keep_queued(depth);
+            tputs.push(f1(report.throughput_mrps()));
+            bws.push(f1(report.memory_bandwidth_gbps()));
+            fig_c.row(vec![
+                depth.to_string(),
+                point.label(),
+                format_breakdown(&report),
+            ]);
+            eprintln!(
+                "[fig2] {} D={depth}: {:.1} Mrps",
+                point.label(),
+                report.throughput_mrps()
+            );
+        }
+        fig_a.row(tputs);
+        fig_b.row(bws);
+    }
+
+    fig_a.emit("fig2a");
+    fig_b.emit("fig2b");
+    fig_c.emit("fig2c");
+}

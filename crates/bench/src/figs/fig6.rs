@@ -1,0 +1,92 @@
+//! Figure 6 — *Memory access latency CDFs for the KVS application* (§VI-B).
+//!
+//! The 1024-buffers / 1 KB-packets scenario (Figure 5a's fifth bar
+//! cluster). Left: DRAM access latency distribution for 2- and 12-way DDIO,
+//! with and without Sweeper, each at its own peak load. Right: the same
+//! four configurations compared iso-throughput, at the 2-way DDIO
+//! baseline's achieved peak.
+
+use sweeper_core::experiment::PeakCriteria;
+use sweeper_core::server::RunReport;
+
+use crate::{f1, kvs_experiment, SystemPoint, Table};
+
+/// The four §VI-B configurations.
+pub fn points() -> Vec<SystemPoint> {
+    vec![
+        SystemPoint::ddio(2),
+        SystemPoint::ddio_sweeper(2),
+        SystemPoint::ddio(12),
+        SystemPoint::ddio_sweeper(12),
+    ]
+}
+
+fn latency_row(label: &str, report: &RunReport) -> Vec<String> {
+    let h = &report.dram_latency;
+    vec![
+        label.to_string(),
+        f1(report.throughput_mrps()),
+        format!("{:.0}", h.mean()),
+        h.percentile(0.5).to_string(),
+        h.percentile(0.9).to_string(),
+        h.percentile(0.99).to_string(),
+        h.max().to_string(),
+    ]
+}
+
+fn emit_cdf(name: &str, label: &str, report: &RunReport) {
+    let dir = std::path::PathBuf::from("results");
+    if !dir.is_dir() {
+        return;
+    }
+    let mut csv = String::from("latency_cycles,cumulative_fraction\n");
+    for (v, f) in report.dram_latency.cdf() {
+        csv.push_str(&format!("{v},{f:.6}\n"));
+    }
+    let safe = label.replace([' ', '+'], "_");
+    let _ = std::fs::write(dir.join(format!("{name}_{safe}.csv")), csv);
+}
+
+/// Runs the experiment and emits both CDF comparisons.
+pub fn run() {
+    let cols = &["config", "Mrps", "mean", "p50", "p90", "p99", "max"];
+    let mut left = Table::new(
+        "Figure 6 (left) — DRAM access latency at each config's peak load (cycles)",
+        cols,
+    );
+    let mut right = Table::new(
+        "Figure 6 (right) — iso-throughput DRAM access latency (cycles)",
+        cols,
+    );
+
+    // Left: each configuration at its own peak.
+    let mut baseline_rate = None;
+    for point in points() {
+        let exp = kvs_experiment(point, 1024, 1024, 4);
+        let peak = exp.find_peak(PeakCriteria::default());
+        if point == SystemPoint::ddio(2) {
+            baseline_rate = Some(peak.rate);
+        }
+        left.row(latency_row(&point.label(), &peak.report));
+        emit_cdf("fig6_peak", &point.label(), &peak.report);
+        eprintln!(
+            "[fig6] {} peak {:.1} Mrps, dram mean {:.0}",
+            point.label(),
+            peak.throughput_mrps(),
+            peak.report.dram_latency.mean()
+        );
+    }
+
+    // Right: all four at the 2-way baseline's peak rate (iso-throughput).
+    let iso = baseline_rate.expect("baseline searched above");
+    for point in points() {
+        let exp = kvs_experiment(point, 1024, 1024, 4);
+        let report = exp.run_at_rate(iso);
+        right.row(latency_row(&point.label(), &report));
+        emit_cdf("fig6_iso", &point.label(), &report);
+    }
+
+    left.emit("fig6_left");
+    println!("(iso-throughput comparison at {:.1} Mrps)", iso / 1e6);
+    right.emit("fig6_right");
+}

@@ -1,0 +1,62 @@
+//! Figure 8 — *Effect of network data leaks and Sweeper on performance as a
+//! function of memory bandwidth availability* (§VI-D).
+//!
+//! MICA KVS, three workload scenarios (512 B items / 512 buffers, 1 KB /
+//! 512, 1 KB / 2048), provisioned with 3, 4, and 8 memory channels; DDIO
+//! {2, 6, 12} ways ± Sweeper plus Ideal-DDIO.
+
+use sweeper_core::experiment::PeakCriteria;
+
+use crate::{f1, kvs_experiment, SystemPoint, Table};
+
+/// The three workload scenarios `(item_bytes, rx_buffers)`.
+pub const SCENARIOS: [(u64, usize); 3] = [(512, 512), (1024, 512), (1024, 2048)];
+
+/// Channel counts swept (Table I: 3 to 8).
+pub const CHANNELS: [usize; 3] = [3, 4, 8];
+
+/// The §VI-D configurations.
+pub fn points() -> Vec<SystemPoint> {
+    let mut out = Vec::new();
+    for ways in [2, 6, 12] {
+        out.push(SystemPoint::ddio(ways));
+        out.push(SystemPoint::ddio_sweeper(ways));
+    }
+    out.push(SystemPoint::ideal());
+    out
+}
+
+/// Runs the experiment and emits throughput and bandwidth tables.
+pub fn run() {
+    for (item, bufs) in SCENARIOS {
+        let title_a = format!(
+            "Figure 8a — KVS peak throughput (Mrps), {item}B packets, rx={bufs}"
+        );
+        let title_b = format!(
+            "Figure 8b — memory bandwidth at peak (GB/s), {item}B packets, rx={bufs}"
+        );
+        let mut fig_a = Table::new(&title_a, &["config", "3ch", "4ch", "8ch"]);
+        let mut fig_b = Table::new(&title_b, &["config", "3ch", "4ch", "8ch"]);
+
+        for point in points() {
+            let mut tputs = vec![point.label()];
+            let mut bws = vec![point.label()];
+            for channels in CHANNELS {
+                let exp = kvs_experiment(point, item, bufs, channels);
+                let peak = exp.find_peak(PeakCriteria::default());
+                tputs.push(f1(peak.throughput_mrps()));
+                bws.push(f1(peak.report.memory_bandwidth_gbps()));
+                eprintln!(
+                    "[fig8] {item}B/rx={bufs} {} ch={channels}: {:.1} Mrps",
+                    point.label(),
+                    peak.throughput_mrps()
+                );
+            }
+            fig_a.row(tputs);
+            fig_b.row(bws);
+        }
+
+        fig_a.emit(&format!("fig8a_{item}_{bufs}"));
+        fig_b.emit(&format!("fig8b_{item}_{bufs}"));
+    }
+}

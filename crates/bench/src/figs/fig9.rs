@@ -1,0 +1,180 @@
+//! Figure 9 — *Performance of collocated network- and memory-intensive
+//! applications* (§VI-E).
+//!
+//! 12 instances of L3fwd (L1-resident dataset, 2048 RX buffers per core,
+//! 1 KB packets) collocated with 12 instances of X-Mem (2 MB private
+//! random-access datasets).
+//!
+//! * **(a)** non-overlapping LLC way partitions: DDIO in partition A,
+//!   X-Mem restricted to partition B, A + B = 12.
+//! * **(b)** overlapping partitions: X-Mem may use the whole LLC while the
+//!   DDIO ways grow from 2 to 12.
+
+use sweeper_core::experiment::{Experiment, ExperimentConfig};
+use sweeper_core::server::RunReport;
+use sweeper_sim::cache::WayMask;
+use sweeper_sim::hierarchy::InjectionPolicy;
+
+use crate::{f1, fast_mode, wrapped_run_options, SystemPoint, Table};
+use sweeper_workloads::l3fwd::{L3Forwarder, L3fwdConfig};
+use sweeper_workloads::xmem::{Xmem, XmemConfig};
+
+/// L3fwd tenant cores (the remaining 12 run X-Mem).
+pub const NET_CORES: u16 = 12;
+
+/// Keep-queued depth of the network tenant — a DPDK-like batching depth
+/// that keeps the cores busy without driving the memory system into deep
+/// saturation (the paper's collocation study measures capacity effects, not
+/// overload collapse).
+const DEPTH: usize = 16;
+
+/// Builds the collocated experiment for one `(ddio_ways, xmem_mask)` point.
+fn collocated(point: SystemPoint, xmem_mask: WayMask, net_mask: WayMask) -> Experiment {
+    // X-Mem is orders of magnitude slower per "request" than L3fwd, so the
+    // windows are time-based: warmup must cover X-Mem's cold pass over its
+    // 2 MB dataset (~15 M cycles) and the measurement must span several
+    // dataset wraps.
+    let mut opts = wrapped_run_options(NET_CORES, 2048);
+    let scale = if fast_mode() { 2 } else { 1 };
+    opts.min_warmup_cycles = 24_000_000 / scale;
+    opts.min_measure_cycles = 40_000_000 / scale;
+    let cfg = point.apply(
+        ExperimentConfig::paper_default()
+            .active_cores(NET_CORES)
+            .rx_buffers_per_core(2048)
+            .packet_bytes(1024)
+            .run_options(opts),
+    );
+    let total_cores = cfg.machine().cores as u16;
+    Experiment::new(cfg, || L3Forwarder::new(L3fwdConfig::l1_resident()))
+        .with_background(|| Xmem::new(XmemConfig::paper_default()))
+        .with_server_hook(move |server| {
+            let mem = server.memory_mut();
+            for core in 0..NET_CORES {
+                mem.set_cpu_llc_mask(core, net_mask);
+            }
+            for core in NET_CORES..total_cores {
+                mem.set_cpu_llc_mask(core, xmem_mask);
+            }
+        })
+}
+
+fn run_point(point: SystemPoint, xmem_mask: WayMask, net_mask: WayMask) -> RunReport {
+    collocated(point, xmem_mask, net_mask).run_keep_queued(DEPTH)
+}
+
+/// Runs both collocation scenarios and emits their tables.
+pub fn run() {
+    // ---- (a) non-overlapping partitions: (A, B) with A + B = 12 ----
+    let mut fig_a = Table::new(
+        "Figure 9a — disjoint partitions (DDIO ways A, X-Mem ways B)",
+        &[
+            "(A,B)",
+            "mode",
+            "l3fwd Mrps",
+            "xmem Mit/s",
+            "l3fwd norm",
+            "xmem norm",
+        ],
+    );
+    let mut raw_a = Vec::new();
+    for a in [2u32, 4, 6, 8, 10] {
+        for sweeper in [false, true] {
+            let point = if sweeper {
+                SystemPoint::ddio_sweeper(a)
+            } else {
+                SystemPoint::ddio(a)
+            };
+            let xmem_mask = WayMask::range(a, 12);
+            let net_mask = WayMask::first(a);
+            let report = run_point(point, xmem_mask, net_mask);
+            eprintln!(
+                "[fig9a] ({a},{}) {}: l3fwd {:.1} Mrps, xmem {:.2} Mit/s",
+                12 - a,
+                if sweeper { "sweeper" } else { "ddio" },
+                report.throughput_mrps(),
+                report.background_mips()
+            );
+            raw_a.push((a, sweeper, report));
+        }
+    }
+    // Normalize to the (4,8) Sweeper point, as the paper's axes do.
+    let norm = raw_a
+        .iter()
+        .find(|(a, s, _)| *a == 4 && *s)
+        .map(|(_, _, r)| (r.throughput_mrps(), r.background_mips()))
+        .expect("(4,8) sweeper point present");
+    for (a, sweeper, report) in &raw_a {
+        fig_a.row(vec![
+            format!("({a},{})", 12 - a),
+            if *sweeper { "DDIO + Sweeper" } else { "DDIO" }.to_string(),
+            f1(report.throughput_mrps()),
+            f1(report.background_mips()),
+            f1(report.throughput_mrps() / norm.0),
+            f1(report.background_mips() / norm.1),
+        ]);
+    }
+    fig_a.emit("fig9a");
+
+    // ---- (b) overlapping partitions: X-Mem uses the whole LLC ----
+    let mut fig_b = Table::new(
+        "Figure 9b — overlapping partitions (X-Mem uses all 12 ways)",
+        &[
+            "DDIO ways",
+            "mode",
+            "l3fwd Mrps",
+            "xmem Mit/s",
+            "l3fwd norm",
+            "xmem norm",
+        ],
+    );
+    let mut raw_b = Vec::new();
+    for ways in [2u32, 4, 6, 8, 10, 12] {
+        for sweeper in [false, true] {
+            let point = if sweeper {
+                SystemPoint::ddio_sweeper(ways)
+            } else {
+                SystemPoint::ddio(ways)
+            };
+            let report = run_point(point, WayMask::ALL, WayMask::ALL);
+            eprintln!(
+                "[fig9b] ways={ways} {}: l3fwd {:.1} Mrps, xmem {:.2} Mit/s",
+                if sweeper { "sweeper" } else { "ddio" },
+                report.throughput_mrps(),
+                report.background_mips()
+            );
+            raw_b.push((ways, sweeper, report));
+        }
+    }
+    // Paper normalizes L3fwd to its 2-way-Sweeper and X-Mem to the
+    // 6-way-Sweeper values.
+    let l3_norm = raw_b
+        .iter()
+        .find(|(w, s, _)| *w == 2 && *s)
+        .map(|(_, _, r)| r.throughput_mrps())
+        .expect("2-way sweeper point present");
+    let xm_norm = raw_b
+        .iter()
+        .find(|(w, s, _)| *w == 6 && *s)
+        .map(|(_, _, r)| r.background_mips())
+        .expect("6-way sweeper point present");
+    for (ways, sweeper, report) in &raw_b {
+        fig_b.row(vec![
+            ways.to_string(),
+            if *sweeper { "DDIO + Sweeper" } else { "DDIO" }.to_string(),
+            f1(report.throughput_mrps()),
+            f1(report.background_mips()),
+            f1(report.throughput_mrps() / l3_norm),
+            f1(report.background_mips() / xm_norm),
+        ]);
+    }
+    fig_b.emit("fig9b");
+
+    // Point out the SystemPoint policy sanity: collocation only makes sense
+    // under DDIO.
+    debug_assert!(points_are_ddio());
+}
+
+fn points_are_ddio() -> bool {
+    SystemPoint::ddio(2).policy == InjectionPolicy::Ddio
+}

@@ -1,0 +1,41 @@
+//! One module per paper table/figure; each exposes a `run()` entry point
+//! used by the corresponding `src/bin` wrapper and by the `all` binary.
+
+pub mod fig1;
+pub mod fig2;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod fig10;
+pub mod table1;
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn figure_point_sets_match_the_paper() {
+        // Fig 1: DMA, DDIO{2,4,6}, Ideal.
+        assert_eq!(super::fig1::points().len(), 5);
+        // Fig 2: DDIO{2,6,12}, Ideal.
+        assert_eq!(super::fig2::points().len(), 4);
+        // Fig 5: DDIO{2,4,6,12} x ±Sweeper + Ideal.
+        assert_eq!(super::fig5::points().len(), 9);
+        // Fig 6: DDIO{2,12} x ±Sweeper.
+        assert_eq!(super::fig6::points().len(), 4);
+        // Fig 7: DDIO{2,6,12} x ±Sweeper + Ideal.
+        assert_eq!(super::fig7::points().len(), 7);
+        // Fig 8: DDIO{2,6,12} x ±Sweeper + Ideal over 3 channel counts.
+        assert_eq!(super::fig8::points().len(), 7);
+        assert_eq!(super::fig8::CHANNELS, [3, 4, 8]);
+        assert_eq!(super::fig8::SCENARIOS.len(), 3);
+        // Fig 10 sweeps five ring depths.
+        assert_eq!(super::fig10::BUFFERS, [128, 256, 512, 1024, 2048]);
+    }
+
+    #[test]
+    fn table1_asserts_the_preset() {
+        // Running it exercises all the hard assertions.
+        super::table1::run();
+    }
+}

@@ -1,0 +1,317 @@
+//! Shared driver code for the benchmark harness that regenerates every
+//! table and figure of *"Patching up Network Data Leaks with Sweeper"*.
+//!
+//! Each figure has a dedicated binary in `src/bin/` (`fig1` … `fig10`,
+//! `table1`); `all` runs the complete evaluation. The binaries print the
+//! same rows/series the paper reports and, when a `results/` directory
+//! exists, also write CSV files for plotting.
+//!
+//! Run lengths honour the `SWEEPER_FAST` environment variable (any non-empty
+//! value quarters the measured requests) so CI can smoke the harness
+//! quickly.
+
+pub mod figs;
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use sweeper_core::experiment::{Experiment, ExperimentConfig};
+use sweeper_core::server::{RunOptions, RunReport, SweeperMode};
+use sweeper_sim::hierarchy::InjectionPolicy;
+use sweeper_sim::stats::TrafficClass;
+use sweeper_workloads::kvs::{KvsConfig, MicaKvs, HEADER_BYTES};
+use sweeper_workloads::l3fwd::{L3Forwarder, L3fwdConfig};
+
+/// Whether the quick smoke mode is requested.
+pub fn fast_mode() -> bool {
+    std::env::var("SWEEPER_FAST").is_ok_and(|v| !v.is_empty())
+}
+
+/// Run lengths for Poisson load sweeps, scaled down under `SWEEPER_FAST`.
+///
+/// The warmup must cycle each core's RX ring at least once so that
+/// steady-state buffer churn — the phenomenon under study — is in effect
+/// when measurement starts; [`ring_warmup`] computes that floor and the
+/// experiment builders apply it.
+pub fn figure_run_options() -> RunOptions {
+    if fast_mode() {
+        RunOptions {
+            warmup_requests: 4_000,
+            measure_requests: 8_000,
+            max_cycles: 60_000_000_000,
+            min_warmup_cycles: 0,
+            min_measure_cycles: 0,
+        }
+    } else {
+        RunOptions {
+            warmup_requests: 10_000,
+            measure_requests: 30_000,
+            max_cycles: 120_000_000_000,
+            min_warmup_cycles: 0,
+            min_measure_cycles: 0,
+        }
+    }
+}
+
+/// Warmup floor guaranteeing ≥1.2 ring wraps on every core.
+pub fn ring_warmup(active_cores: u16, rx_entries: usize) -> u64 {
+    (active_cores as u64 * rx_entries as u64 * 12) / 10
+}
+
+/// Run lengths whose warmup fully wraps the RX rings (used by the
+/// keep-queued L3fwd scenarios and any deep-ring configuration).
+pub fn wrapped_run_options(active_cores: u16, rx_entries: usize) -> RunOptions {
+    let base = figure_run_options();
+    RunOptions {
+        warmup_requests: base
+            .warmup_requests
+            .max(ring_warmup(active_cores, rx_entries)),
+        ..base
+    }
+}
+
+/// A named system configuration of the paper's baselines sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SystemPoint {
+    /// Injection policy.
+    pub policy: InjectionPolicy,
+    /// DDIO ways (ignored for DMA/Ideal).
+    pub ddio_ways: u32,
+    /// Sweeper on/off.
+    pub sweeper: SweeperMode,
+}
+
+impl SystemPoint {
+    /// Conventional DMA.
+    pub fn dma() -> Self {
+        Self {
+            policy: InjectionPolicy::Dma,
+            ddio_ways: 2,
+            sweeper: SweeperMode::Disabled,
+        }
+    }
+
+    /// DDIO with `ways` LLC ways.
+    pub fn ddio(ways: u32) -> Self {
+        Self {
+            policy: InjectionPolicy::Ddio,
+            ddio_ways: ways,
+            sweeper: SweeperMode::Disabled,
+        }
+    }
+
+    /// DDIO with `ways` LLC ways plus Sweeper.
+    pub fn ddio_sweeper(ways: u32) -> Self {
+        Self {
+            policy: InjectionPolicy::Ddio,
+            ddio_ways: ways,
+            sweeper: SweeperMode::Enabled,
+        }
+    }
+
+    /// The unrealistic infinite network cache.
+    pub fn ideal() -> Self {
+        Self {
+            policy: InjectionPolicy::Ideal,
+            ddio_ways: 2,
+            sweeper: SweeperMode::Disabled,
+        }
+    }
+
+    /// Legend label matching the paper's figures.
+    pub fn label(&self) -> String {
+        match self.policy {
+            InjectionPolicy::Dma => "DMA".to_string(),
+            InjectionPolicy::Ideal => "Ideal DDIO".to_string(),
+            InjectionPolicy::Ddio => {
+                format!("DDIO {} Ways{}", self.ddio_ways, self.sweeper.suffix())
+            }
+        }
+    }
+
+    /// Applies this point to an experiment configuration.
+    pub fn apply(&self, cfg: ExperimentConfig) -> ExperimentConfig {
+        cfg.injection(self.policy)
+            .ddio_ways(self.ddio_ways)
+            .sweeper(self.sweeper)
+    }
+}
+
+/// Builds a KVS experiment at paper scale.
+///
+/// `item_bytes` is the KVS value size (request packets carry
+/// `item + header`); `rx_buffers` the per-core ring depth.
+pub fn kvs_experiment(
+    point: SystemPoint,
+    item_bytes: u64,
+    rx_buffers: usize,
+    channels: usize,
+) -> Experiment {
+    let kvs_cfg = KvsConfig::paper_default().with_item_bytes(item_bytes);
+    let cfg = point.apply(
+        ExperimentConfig::paper_default()
+            .rx_buffers_per_core(rx_buffers)
+            .packet_bytes(item_bytes + HEADER_BYTES)
+            .channels(channels)
+            .run_options(wrapped_run_options(24, rx_buffers)),
+    );
+    Experiment::new(cfg, move || MicaKvs::new(kvs_cfg))
+}
+
+/// Builds an L3fwd experiment at paper scale (copy-out transmit path,
+/// L2-resident 16 k-rule table as in §IV-B).
+pub fn l3fwd_experiment(point: SystemPoint, rx_buffers: usize) -> Experiment {
+    let cfg = point.apply(
+        ExperimentConfig::paper_default()
+            .rx_buffers_per_core(rx_buffers)
+            .packet_bytes(1024)
+            .run_options(wrapped_run_options(24, rx_buffers)),
+    );
+    Experiment::new(cfg, || L3Forwarder::new(L3fwdConfig::l2_resident()))
+}
+
+/// One row of a memory-access-per-request breakdown (Figures 1c/2c/5c/7b).
+pub fn breakdown_row(report: &RunReport) -> Vec<(TrafficClass, f64)> {
+    report.accesses_per_request()
+}
+
+/// Formats a breakdown as the paper's stacked-bar data.
+pub fn format_breakdown(report: &RunReport) -> String {
+    let mut out = String::new();
+    for (class, v) in report.accesses_per_request() {
+        if v >= 0.005 {
+            let _ = write!(out, "{class}={v:.2} ");
+        }
+    }
+    let _ = write!(out, "| total={:.1}", report.total_accesses_per_request());
+    out
+}
+
+/// Simple fixed-width table printer for the figure binaries.
+#[derive(Debug)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+    title: String,
+}
+
+impl Table {
+    /// Starts a table with a title and column headers.
+    pub fn new(title: &str, headers: &[&str]) -> Self {
+        Self {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            title: title.to_string(),
+        }
+    }
+
+    /// Appends a row (must match the header count).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count differs from the header count.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "column count mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders the table to a string.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "\n=== {} ===", self.title);
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}", w = w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let _ = writeln!(out, "{}", fmt_row(&self.headers, &widths));
+        let _ = writeln!(
+            out,
+            "{}",
+            "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+        );
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", fmt_row(row, &widths));
+        }
+        out
+    }
+
+    /// Prints the table to stdout and, if `results/` exists, writes
+    /// `results/<name>.csv`.
+    pub fn emit(&self, name: &str) {
+        println!("{}", self.render());
+        let dir = PathBuf::from("results");
+        if dir.is_dir() {
+            let mut csv = String::new();
+            let _ = writeln!(csv, "{}", self.headers.join(","));
+            for row in &self.rows {
+                let _ = writeln!(csv, "{}", row.join(","));
+            }
+            let _ = std::fs::write(dir.join(format!("{name}.csv")), csv);
+        }
+    }
+}
+
+/// Convenience: formats a float with two decimals.
+pub fn f1(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn system_point_labels_match_paper_legends() {
+        assert_eq!(SystemPoint::dma().label(), "DMA");
+        assert_eq!(SystemPoint::ddio(4).label(), "DDIO 4 Ways");
+        assert_eq!(
+            SystemPoint::ddio_sweeper(2).label(),
+            "DDIO 2 Ways + Sweeper"
+        );
+        assert_eq!(SystemPoint::ideal().label(), "Ideal DDIO");
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new("demo", &["a", "long-header"]);
+        t.row(vec!["1".into(), "2".into()]);
+        t.row(vec!["333".into(), "4444".into()]);
+        let s = t.render();
+        assert!(s.contains("demo"));
+        assert!(s.contains("long-header"));
+        assert!(s.lines().count() >= 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "column count mismatch")]
+    fn table_rejects_ragged_rows() {
+        let mut t = Table::new("demo", &["a"]);
+        t.row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn run_options_are_nontrivial() {
+        let opts = figure_run_options();
+        assert!(opts.measure_requests >= 6_000);
+        assert!(opts.warmup_requests > 0);
+    }
+
+    #[test]
+    fn experiment_builders_produce_runnable_experiments() {
+        // Smallest viable smoke: tiny rate, few requests via the fast path.
+        let exp = kvs_experiment(SystemPoint::ideal(), 512, 64, 4);
+        assert!(exp.config().rx_footprint_bytes() > 0);
+        let exp2 = l3fwd_experiment(SystemPoint::ddio(2), 64);
+        assert!(exp2.config().machine().ddio_ways == 2);
+    }
+}

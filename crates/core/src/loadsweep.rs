@@ -1,0 +1,263 @@
+//! Load–latency sweeps: the classic "hockey-stick" characterization.
+//!
+//! The paper reports peak throughput under an SLO (Appendix A); operators
+//! usually also want the whole curve — throughput, latency percentiles,
+//! memory bandwidth, and leak counts as functions of offered load. A
+//! [`LoadSweep`] drives an [`Experiment`](crate::experiment::Experiment)
+//! across a rate grid and returns one [`LoadPoint`] per rate, ready for
+//! plotting or CSV export.
+
+use crate::experiment::Experiment;
+use crate::server::RunReport;
+use sweeper_sim::stats::TrafficClass;
+use sweeper_sim::Cycle;
+
+/// One measured operating point.
+#[derive(Debug, Clone)]
+pub struct LoadPoint {
+    /// Offered load, packets per second.
+    pub offered_rate: f64,
+    /// Achieved throughput in Mrps.
+    pub throughput_mrps: f64,
+    /// Mean end-to-end request latency, cycles.
+    pub latency_mean: f64,
+    /// Median end-to-end request latency, cycles.
+    pub latency_p50: Cycle,
+    /// Tail end-to-end request latency, cycles.
+    pub latency_p99: Cycle,
+    /// Memory bandwidth, GB/s.
+    pub memory_gbps: f64,
+    /// Consumed + premature RX leak blocks per request.
+    pub rx_leaks_per_request: f64,
+    /// Fraction of offered packets dropped.
+    pub drop_rate: f64,
+    /// Completed / offered.
+    pub goodput_ratio: f64,
+}
+
+impl LoadPoint {
+    fn from_report(offered_rate: f64, report: &RunReport) -> Self {
+        let counts = report.class_counts();
+        let per_req = |c: TrafficClass| counts[c] as f64 / report.completed.max(1) as f64;
+        Self {
+            offered_rate,
+            throughput_mrps: report.throughput_mrps(),
+            latency_mean: report.request_latency.mean(),
+            latency_p50: report.request_latency.percentile(0.5),
+            latency_p99: report.request_latency.percentile(0.99),
+            memory_gbps: report.memory_bandwidth_gbps(),
+            rx_leaks_per_request: per_req(TrafficClass::RxEvct) + per_req(TrafficClass::CpuRxRd),
+            drop_rate: report.drop_rate(),
+            goodput_ratio: report.goodput_ratio(),
+        }
+    }
+}
+
+/// A rate grid to sweep.
+#[derive(Debug, Clone)]
+pub struct RateGrid {
+    rates: Vec<f64>,
+}
+
+impl RateGrid {
+    /// Linear grid of `points` rates from `lo` to `hi` (packets/second).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bounds are not positive and increasing or `points < 2`.
+    pub fn linear(lo: f64, hi: f64, points: usize) -> Self {
+        assert!(lo > 0.0 && hi > lo, "need 0 < lo < hi");
+        assert!(points >= 2, "need at least two points");
+        let step = (hi - lo) / (points - 1) as f64;
+        Self {
+            rates: (0..points).map(|i| lo + step * i as f64).collect(),
+        }
+    }
+
+    /// Geometric grid of `points` rates from `lo` to `hi`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bounds are not positive and increasing or `points < 2`.
+    pub fn geometric(lo: f64, hi: f64, points: usize) -> Self {
+        assert!(lo > 0.0 && hi > lo, "need 0 < lo < hi");
+        assert!(points >= 2, "need at least two points");
+        let ratio = (hi / lo).powf(1.0 / (points - 1) as f64);
+        Self {
+            rates: (0..points).map(|i| lo * ratio.powi(i as i32)).collect(),
+        }
+    }
+
+    /// An explicit list of rates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the list is empty or not strictly increasing.
+    pub fn explicit(rates: Vec<f64>) -> Self {
+        assert!(!rates.is_empty(), "need at least one rate");
+        assert!(
+            rates.windows(2).all(|w| w[0] < w[1]),
+            "rates must be strictly increasing"
+        );
+        Self { rates }
+    }
+
+    /// The rates, ascending.
+    pub fn rates(&self) -> &[f64] {
+        &self.rates
+    }
+}
+
+/// Result of sweeping an experiment across a rate grid.
+#[derive(Debug, Clone)]
+pub struct LoadSweep {
+    points: Vec<LoadPoint>,
+}
+
+impl LoadSweep {
+    /// Runs `experiment` at every rate of `grid`.
+    ///
+    /// `stop_when_saturated` aborts the sweep once goodput drops below 50%
+    /// — everything beyond is deep overload and costs simulation time
+    /// without adding information.
+    pub fn run(experiment: &Experiment, grid: &RateGrid, stop_when_saturated: bool) -> Self {
+        let mut points = Vec::with_capacity(grid.rates().len());
+        for &rate in grid.rates() {
+            let report = experiment.run_at_rate(rate);
+            let point = LoadPoint::from_report(rate, &report);
+            let saturated = point.goodput_ratio < 0.5;
+            points.push(point);
+            if stop_when_saturated && saturated {
+                break;
+            }
+        }
+        Self { points }
+    }
+
+    /// The measured points, in offered-rate order.
+    pub fn points(&self) -> &[LoadPoint] {
+        &self.points
+    }
+
+    /// The highest rate whose p99 latency stayed within `slo` cycles.
+    pub fn peak_under_slo(&self, slo: Cycle) -> Option<&LoadPoint> {
+        self.points
+            .iter()
+            .filter(|p| p.latency_p99 <= slo && p.goodput_ratio >= 0.9)
+            .last()
+    }
+
+    /// The knee: the first point whose p99 at least doubled relative to the
+    /// lowest-load point (a scale-free definition of "where queuing starts").
+    pub fn knee(&self) -> Option<&LoadPoint> {
+        let base = self.points.first()?.latency_p99.max(1);
+        self.points.iter().find(|p| p.latency_p99 >= 2 * base)
+    }
+
+    /// Renders the sweep as CSV (header + one row per point).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "offered_rate,throughput_mrps,latency_mean,latency_p50,latency_p99,\
+             memory_gbps,rx_leaks_per_request,drop_rate,goodput_ratio\n",
+        );
+        for p in &self.points {
+            out.push_str(&format!(
+                "{:.0},{:.4},{:.1},{},{},{:.3},{:.3},{:.6},{:.4}\n",
+                p.offered_rate,
+                p.throughput_mrps,
+                p.latency_mean,
+                p.latency_p50,
+                p.latency_p99,
+                p.memory_gbps,
+                p.rx_leaks_per_request,
+                p.drop_rate,
+                p.goodput_ratio
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::ExperimentConfig;
+    use crate::workload::EchoWorkload;
+
+    fn tiny_experiment() -> Experiment {
+        Experiment::new(ExperimentConfig::tiny_for_tests(), || {
+            EchoWorkload::with_think(200)
+        })
+    }
+
+    #[test]
+    fn linear_grid_has_exact_endpoints() {
+        let g = RateGrid::linear(1e6, 5e6, 5);
+        assert_eq!(g.rates().len(), 5);
+        assert!((g.rates()[0] - 1e6).abs() < 1.0);
+        assert!((g.rates()[4] - 5e6).abs() < 1.0);
+        assert!((g.rates()[2] - 3e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn geometric_grid_has_constant_ratio() {
+        let g = RateGrid::geometric(1e6, 16e6, 5);
+        for w in g.rates().windows(2) {
+            assert!((w[1] / w[0] - 2.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn explicit_grid_validates_order() {
+        let g = RateGrid::explicit(vec![1.0, 2.0, 4.0]);
+        assert_eq!(g.rates(), &[1.0, 2.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn explicit_grid_rejects_disorder() {
+        RateGrid::explicit(vec![2.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "0 < lo < hi")]
+    fn linear_grid_rejects_bad_bounds() {
+        RateGrid::linear(5e6, 1e6, 3);
+    }
+
+    #[test]
+    fn sweep_produces_monotone_offered_rates_and_knee() {
+        let exp = tiny_experiment();
+        let sweep = LoadSweep::run(&exp, &RateGrid::geometric(0.2e6, 12.8e6, 7), true);
+        assert!(!sweep.points().is_empty());
+        for w in sweep.points().windows(2) {
+            assert!(w[1].offered_rate > w[0].offered_rate);
+            // Throughput never decreases dramatically below offered at low load.
+            assert!(w[0].goodput_ratio > 0.3);
+        }
+        // Low load tracks offered; the last point should show queueing or
+        // saturation relative to the first.
+        let first = sweep.points().first().unwrap();
+        let last = sweep.points().last().unwrap();
+        assert!(last.latency_p99 >= first.latency_p99);
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let exp = tiny_experiment();
+        let sweep = LoadSweep::run(&exp, &RateGrid::linear(0.5e6, 1.5e6, 2), false);
+        let csv = sweep.to_csv();
+        assert!(csv.starts_with("offered_rate,"));
+        assert_eq!(csv.lines().count(), 1 + sweep.points().len());
+    }
+
+    #[test]
+    fn peak_under_slo_respects_threshold() {
+        let exp = tiny_experiment();
+        let sweep = LoadSweep::run(&exp, &RateGrid::geometric(0.2e6, 25.6e6, 8), true);
+        let generous = sweep.peak_under_slo(u64::MAX / 2);
+        assert!(generous.is_some());
+        let strict = sweep.peak_under_slo(1);
+        assert!(strict.is_none());
+    }
+}

@@ -1,0 +1,169 @@
+//! Human-readable rendering of run reports.
+//!
+//! The CLI, the examples, and ad-hoc drivers all need the same summary of a
+//! [`RunReport`]; this module renders it once, consistently. The format is
+//! stable line-oriented `key : value` text (easy to grep), with the
+//! per-request breakdown in the paper's legend order.
+
+use std::fmt::Write as _;
+
+use crate::server::RunReport;
+
+/// Controls which sections [`render`] includes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReportStyle {
+    /// Include the per-class access breakdown.
+    pub breakdown: bool,
+    /// Include DRAM latency percentiles.
+    pub dram_latency: bool,
+    /// Include Sweeper savings when present.
+    pub sweeper: bool,
+    /// Hide classes below this many accesses/request.
+    pub min_class: f64,
+}
+
+impl Default for ReportStyle {
+    fn default() -> Self {
+        Self {
+            breakdown: true,
+            dram_latency: true,
+            sweeper: true,
+            min_class: 0.005,
+        }
+    }
+}
+
+impl ReportStyle {
+    /// A one-look summary without breakdowns.
+    pub fn brief() -> Self {
+        Self {
+            breakdown: false,
+            dram_latency: false,
+            sweeper: false,
+            min_class: 0.005,
+        }
+    }
+}
+
+/// Renders `report` as stable text.
+pub fn render(report: &RunReport, style: ReportStyle) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "workload            : {}", report.workload);
+    let _ = writeln!(out, "completed           : {}", report.completed);
+    let _ = writeln!(
+        out,
+        "throughput          : {:.2} Mrps",
+        report.throughput_mrps()
+    );
+    let _ = writeln!(out, "goodput ratio       : {:.3}", report.goodput_ratio());
+    let _ = writeln!(
+        out,
+        "drop rate           : {:.4}%",
+        report.drop_rate() * 100.0
+    );
+    let _ = writeln!(
+        out,
+        "memory bandwidth    : {:.2} GB/s",
+        report.memory_bandwidth_gbps()
+    );
+    let _ = writeln!(
+        out,
+        "request latency     : mean {:.0}  p50 {}  p99 {} cycles",
+        report.request_latency.mean(),
+        report.request_latency.percentile(0.5),
+        report.request_latency.percentile(0.99)
+    );
+    if style.dram_latency {
+        let _ = writeln!(
+            out,
+            "dram read latency   : mean {:.0}  p99 {} cycles",
+            report.dram_latency.mean(),
+            report.dram_latency.percentile(0.99)
+        );
+    }
+    let _ = writeln!(
+        out,
+        "accesses/request    : {:.2}",
+        report.total_accesses_per_request()
+    );
+    if style.breakdown {
+        for (class, v) in report.accesses_per_request() {
+            if v > style.min_class {
+                let _ = writeln!(out, "    {class:<14}: {v:.2}");
+            }
+        }
+    }
+    if style.sweeper && report.mem.sweep_saved_writebacks > 0 {
+        let _ = writeln!(
+            out,
+            "writebacks saved    : {:.2}/request",
+            report.mem.sweep_saved_writebacks as f64 / report.completed.max(1) as f64
+        );
+    }
+    if report.timed_out {
+        let _ = writeln!(out, "WARNING             : run hit max_cycles before its quota");
+    }
+    out
+}
+
+/// One-line comparison between a baseline and a treatment report
+/// ("A/B line"), used by examples.
+pub fn compare_line(label: &str, base: &RunReport, treat: &RunReport) -> String {
+    format!(
+        "{label}: {:.1} → {:.1} Mrps ({:.2}x), {:.1} → {:.1} GB/s",
+        base.throughput_mrps(),
+        treat.throughput_mrps(),
+        treat.throughput_mrps() / base.throughput_mrps().max(1e-9),
+        base.memory_bandwidth_gbps(),
+        treat.memory_bandwidth_gbps(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::{Experiment, ExperimentConfig};
+    use crate::workload::EchoWorkload;
+
+    fn report() -> RunReport {
+        Experiment::new(ExperimentConfig::tiny_for_tests(), || {
+            EchoWorkload::with_think(100)
+        })
+        .run_at_rate(1.0e6)
+    }
+
+    #[test]
+    fn render_contains_all_sections() {
+        let r = report();
+        let text = render(&r, ReportStyle::default());
+        for key in [
+            "workload",
+            "completed",
+            "throughput",
+            "memory bandwidth",
+            "request latency",
+            "dram read latency",
+            "accesses/request",
+        ] {
+            assert!(text.contains(key), "missing section '{key}' in:\n{text}");
+        }
+        assert!(!text.contains("WARNING"));
+    }
+
+    #[test]
+    fn brief_style_omits_details() {
+        let r = report();
+        let text = render(&r, ReportStyle::brief());
+        assert!(!text.contains("dram read latency"));
+        assert!(text.contains("throughput"));
+    }
+
+    #[test]
+    fn compare_line_formats_ratio() {
+        let a = report();
+        let b = report();
+        let line = compare_line("echo", &a, &b);
+        assert!(line.starts_with("echo: "));
+        assert!(line.contains("1.00x"));
+    }
+}

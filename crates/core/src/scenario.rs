@@ -1,0 +1,330 @@
+//! Scenario files: plain-text experiment descriptions.
+//!
+//! Reviewers and operators want experiments as versionable files, not shell
+//! one-liners. A scenario file is deliberately minimal — `key = value`
+//! lines, `#` comments — so it needs no external parser dependency:
+//!
+//! ```text
+//! # headline point of Figure 5
+//! workload   = kvs
+//! policy     = ddio
+//! ddio_ways  = 2
+//! sweeper    = true
+//! buffers    = 2048
+//! packet     = 1088
+//! channels   = 4
+//! rate_mrps  = 20
+//! ```
+//!
+//! [`Scenario::parse`] validates keys and values; [`Scenario::to_config`]
+//! produces an [`ExperimentConfig`] plus workload selection for the CLI or
+//! a driver program.
+
+use std::collections::BTreeMap;
+
+use sweeper_sim::hierarchy::InjectionPolicy;
+
+use crate::experiment::ExperimentConfig;
+use crate::server::SweeperMode;
+
+/// Which workload a scenario requests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScenarioWorkload {
+    /// MICA-style key-value store.
+    Kvs,
+    /// L3 forwarder network function.
+    L3fwd,
+    /// The synthetic calibration workload.
+    Synthetic,
+}
+
+/// A parsed scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// Requested workload.
+    pub workload: ScenarioWorkload,
+    /// Injection policy.
+    pub policy: InjectionPolicy,
+    /// DDIO ways.
+    pub ddio_ways: u32,
+    /// Sweeper on/off.
+    pub sweeper: SweeperMode,
+    /// NIC-driven TX sweeping.
+    pub tx_sweep: bool,
+    /// RX ring entries per core per endpoint.
+    pub buffers: usize,
+    /// Endpoints per core.
+    pub endpoints: usize,
+    /// Packet size in bytes.
+    pub packet: u64,
+    /// DRAM channels.
+    pub channels: usize,
+    /// Active cores.
+    pub cores: u16,
+    /// RNG seed.
+    pub seed: u64,
+    /// Offered rate in Mrps (for `run`-style drivers).
+    pub rate_mrps: f64,
+}
+
+impl Default for Scenario {
+    fn default() -> Self {
+        Self {
+            workload: ScenarioWorkload::Kvs,
+            policy: InjectionPolicy::Ddio,
+            ddio_ways: 2,
+            sweeper: SweeperMode::Disabled,
+            tx_sweep: false,
+            buffers: 1024,
+            endpoints: 1,
+            packet: 1088,
+            channels: 4,
+            cores: 24,
+            seed: 0x5eed,
+            rate_mrps: 20.0,
+        }
+    }
+}
+
+/// Error describing the offending line of a scenario file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScenarioError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "scenario line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+impl Scenario {
+    /// Parses `key = value` text.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first malformed line: unknown key, missing `=`, bad
+    /// value, or out-of-range number.
+    pub fn parse(text: &str) -> Result<Self, ScenarioError> {
+        let mut s = Scenario::default();
+        let mut seen: BTreeMap<String, usize> = BTreeMap::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let line_no = idx + 1;
+            let err = |message: String| ScenarioError {
+                line: line_no,
+                message,
+            };
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| err("expected 'key = value'".into()))?;
+            let key = key.trim();
+            let value = value.trim();
+            if let Some(first) = seen.insert(key.to_string(), line_no) {
+                return Err(err(format!("duplicate key '{key}' (first at line {first})")));
+            }
+            match key {
+                "workload" => {
+                    s.workload = match value {
+                        "kvs" => ScenarioWorkload::Kvs,
+                        "l3fwd" => ScenarioWorkload::L3fwd,
+                        "synthetic" => ScenarioWorkload::Synthetic,
+                        other => return Err(err(format!("unknown workload '{other}'"))),
+                    }
+                }
+                "policy" => {
+                    s.policy = match value {
+                        "dma" => InjectionPolicy::Dma,
+                        "ddio" => InjectionPolicy::Ddio,
+                        "ideal" => InjectionPolicy::Ideal,
+                        other => return Err(err(format!("unknown policy '{other}'"))),
+                    }
+                }
+                "sweeper" => {
+                    s.sweeper = match parse_bool(value).map_err(&err)? {
+                        true => SweeperMode::Enabled,
+                        false => SweeperMode::Disabled,
+                    }
+                }
+                "tx_sweep" => s.tx_sweep = parse_bool(value).map_err(&err)?,
+                "ddio_ways" => s.ddio_ways = parse_num(value, 1, 12).map_err(&err)? as u32,
+                "buffers" => s.buffers = parse_num(value, 1, 1 << 20).map_err(&err)? as usize,
+                "endpoints" => s.endpoints = parse_num(value, 1, 4096).map_err(&err)? as usize,
+                "packet" => s.packet = parse_num(value, 64, 1 << 16).map_err(&err)?,
+                "channels" => s.channels = parse_num(value, 1, 16).map_err(&err)? as usize,
+                "cores" => s.cores = parse_num(value, 1, 64).map_err(&err)? as u16,
+                "seed" => s.seed = parse_num(value, 0, u64::MAX).map_err(&err)?,
+                "rate_mrps" => {
+                    s.rate_mrps = value
+                        .parse::<f64>()
+                        .ok()
+                        .filter(|r| r.is_finite() && *r > 0.0)
+                        .ok_or_else(|| err(format!("invalid rate '{value}'")))?
+                }
+                other => return Err(err(format!("unknown key '{other}'"))),
+            }
+        }
+        Ok(s)
+    }
+
+    /// Builds the experiment configuration this scenario describes (run
+    /// lengths are the caller's choice).
+    pub fn to_config(&self) -> ExperimentConfig {
+        ExperimentConfig::paper_default()
+            .injection(self.policy)
+            .ddio_ways(self.ddio_ways)
+            .sweeper(self.sweeper)
+            .tx_sweep(self.tx_sweep)
+            .rx_buffers_per_core(self.buffers)
+            .endpoints_per_core(self.endpoints)
+            .packet_bytes(self.packet)
+            .channels(self.channels)
+            .active_cores(self.cores)
+            .seed(self.seed)
+    }
+
+    /// Renders the scenario back to parseable text (round-trips through
+    /// [`parse`](Self::parse)).
+    pub fn to_text(&self) -> String {
+        let workload = match self.workload {
+            ScenarioWorkload::Kvs => "kvs",
+            ScenarioWorkload::L3fwd => "l3fwd",
+            ScenarioWorkload::Synthetic => "synthetic",
+        };
+        let policy = match self.policy {
+            InjectionPolicy::Dma => "dma",
+            InjectionPolicy::Ddio => "ddio",
+            InjectionPolicy::Ideal => "ideal",
+        };
+        format!(
+            "workload = {workload}\npolicy = {policy}\nddio_ways = {}\nsweeper = {}\n\
+             tx_sweep = {}\nbuffers = {}\nendpoints = {}\npacket = {}\nchannels = {}\n\
+             cores = {}\nseed = {}\nrate_mrps = {}\n",
+            self.ddio_ways,
+            self.sweeper.is_enabled(),
+            self.tx_sweep,
+            self.buffers,
+            self.endpoints,
+            self.packet,
+            self.channels,
+            self.cores,
+            self.seed,
+            self.rate_mrps,
+        )
+    }
+}
+
+fn parse_bool(value: &str) -> Result<bool, String> {
+    match value {
+        "true" | "yes" | "on" | "1" => Ok(true),
+        "false" | "no" | "off" | "0" => Ok(false),
+        other => Err(format!("expected a boolean, got '{other}'")),
+    }
+}
+
+fn parse_num(value: &str, min: u64, max: u64) -> Result<u64, String> {
+    let n: u64 = value
+        .parse()
+        .map_err(|_| format!("invalid number '{value}'"))?;
+    if n < min || n > max {
+        return Err(format!("{n} outside [{min}, {max}]"));
+    }
+    Ok(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_full_scenario() {
+        let text = "\
+            # headline point\n\
+            workload = l3fwd\n\
+            policy = ideal   # with a trailing comment\n\
+            ddio_ways = 6\n\
+            sweeper = yes\n\
+            buffers = 2048\n\
+            packet = 1024\n\
+            channels = 3\n\
+            cores = 12\n\
+            rate_mrps = 35.5\n";
+        let s = Scenario::parse(text).unwrap();
+        assert_eq!(s.workload, ScenarioWorkload::L3fwd);
+        assert_eq!(s.policy, InjectionPolicy::Ideal);
+        assert_eq!(s.ddio_ways, 6);
+        assert_eq!(s.sweeper, SweeperMode::Enabled);
+        assert_eq!(s.buffers, 2048);
+        assert_eq!(s.channels, 3);
+        assert_eq!(s.cores, 12);
+        assert!((s.rate_mrps - 35.5).abs() < 1e-9);
+        // Unspecified keys keep defaults.
+        assert_eq!(s.endpoints, 1);
+        assert_eq!(s.seed, 0x5eed);
+    }
+
+    #[test]
+    fn empty_text_is_the_default_scenario() {
+        assert_eq!(Scenario::parse("").unwrap(), Scenario::default());
+        assert_eq!(Scenario::parse("# only comments\n\n").unwrap(), Scenario::default());
+    }
+
+    #[test]
+    fn round_trips_through_text() {
+        let mut s = Scenario::default();
+        s.workload = ScenarioWorkload::Synthetic;
+        s.sweeper = SweeperMode::Enabled;
+        s.buffers = 777;
+        s.rate_mrps = 12.25;
+        let reparsed = Scenario::parse(&s.to_text()).unwrap();
+        assert_eq!(reparsed, s);
+    }
+
+    #[test]
+    fn reports_the_offending_line() {
+        let err = Scenario::parse("workload = kvs\nbogus = 1\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("unknown key"));
+        assert!(err.to_string().contains("line 2"));
+    }
+
+    #[test]
+    fn rejects_out_of_range_and_duplicates() {
+        let err = Scenario::parse("ddio_ways = 13\n").unwrap_err();
+        assert!(err.message.contains("outside"));
+        let err = Scenario::parse("buffers = 64\nbuffers = 128\n").unwrap_err();
+        assert!(err.message.contains("duplicate"));
+        let err = Scenario::parse("rate_mrps = -3\n").unwrap_err();
+        assert!(err.message.contains("invalid rate"));
+        let err = Scenario::parse("no-equals-here\n").unwrap_err();
+        assert!(err.message.contains("key = value"));
+    }
+
+    #[test]
+    fn to_config_applies_every_knob() {
+        let s = Scenario::parse(
+            "policy = dma\nddio_ways = 4\nbuffers = 256\nendpoints = 8\npacket = 512\n\
+             channels = 8\ncores = 6\nseed = 42\n",
+        )
+        .unwrap();
+        let cfg = s.to_config();
+        assert_eq!(cfg.machine().injection, InjectionPolicy::Dma);
+        assert_eq!(cfg.machine().ddio_ways, 4);
+        assert_eq!(cfg.machine().dram.channels, 8);
+        assert_eq!(cfg.server_config().rx_entries, 256);
+        assert_eq!(cfg.server_config().endpoints_per_core, 8);
+        assert_eq!(cfg.server_config().packet_bytes, 512);
+        assert_eq!(cfg.server_config().active_cores, 6);
+        assert_eq!(cfg.server_config().seed, 42);
+        // 6 cores x 8 endpoints x 256 entries x 1024B entries.
+        assert_eq!(cfg.rx_footprint_bytes(), 6 * 8 * 256 * 1024);
+    }
+}

@@ -1,0 +1,239 @@
+//! Per-core receive rings.
+//!
+//! Each core owns one RX ring of `entries` fixed-size buffers, matching the
+//! paper's per-core provisioning (Appendix A: *B ∈ [512, 2048] network
+//! buffers per core*; §VI-F sweeps down to 128). The ring is the unit whose
+//! aggregate footprint determines whether network buffers fit in the DDIO
+//! ways — the root cause of network data leaks (§II-C).
+//!
+//! The NIC is the producer (writing arriving packets into successive slots);
+//! the CPU is the consumer. A full ring forces a packet drop, which is
+//! exactly the shallow-buffering failure mode studied in §VI-F.
+
+use sweeper_sim::addr::{Addr, AddressMap, RegionKind};
+
+use crate::packet::Packet;
+
+/// A fixed-capacity receive ring backed by a contiguous RX buffer region.
+#[derive(Debug, Clone)]
+pub struct RxRing {
+    base: Addr,
+    entry_bytes: u64,
+    slots: Vec<Option<Packet>>,
+    /// Next slot the NIC writes (producer index, monotonically increasing).
+    tail: u64,
+    /// Next slot the CPU consumes (consumer index).
+    head: u64,
+}
+
+impl RxRing {
+    /// Allocates the ring's buffer region out of `map` for `core` and builds
+    /// an empty ring.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` or `entry_bytes` is zero.
+    pub fn new(map: &mut AddressMap, core: u16, entries: usize, entry_bytes: u64) -> Self {
+        assert!(entries > 0, "ring must have at least one entry");
+        assert!(entry_bytes > 0, "ring entries must be non-empty");
+        let base = map.alloc(entries as u64 * entry_bytes, RegionKind::Rx { core });
+        Self {
+            base,
+            entry_bytes,
+            slots: vec![None; entries],
+            tail: 0,
+            head: 0,
+        }
+    }
+
+    /// Number of entries.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Bytes of one entry.
+    pub fn entry_bytes(&self) -> u64 {
+        self.entry_bytes
+    }
+
+    /// Total buffer footprint in bytes.
+    pub fn footprint_bytes(&self) -> u64 {
+        self.capacity() as u64 * self.entry_bytes
+    }
+
+    /// Packets currently queued (delivered but not yet consumed).
+    pub fn occupancy(&self) -> usize {
+        (self.tail - self.head) as usize
+    }
+
+    /// Whether the ring has no free slot.
+    pub fn is_full(&self) -> bool {
+        self.occupancy() == self.capacity()
+    }
+
+    /// Whether no packets are queued.
+    pub fn is_empty(&self) -> bool {
+        self.head == self.tail
+    }
+
+    /// Base address of slot `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= capacity()`.
+    pub fn slot_addr(&self, i: usize) -> Addr {
+        assert!(i < self.capacity(), "slot index out of range");
+        self.base.offset(i as u64 * self.entry_bytes)
+    }
+
+    /// Address the *next* produced packet would be written to, if a slot is
+    /// free.
+    pub fn next_slot_addr(&self) -> Option<Addr> {
+        if self.is_full() {
+            None
+        } else {
+            Some(self.slot_addr((self.tail % self.capacity() as u64) as usize))
+        }
+    }
+
+    /// Producer side: claims the next slot for `packet`.
+    ///
+    /// Returns the slot's buffer address, or `None` (packet drop) if the
+    /// ring is full. The caller (the NIC) is responsible for performing the
+    /// actual memory-system write.
+    pub fn push(&mut self, mut packet: Packet) -> Option<Addr> {
+        if self.is_full() {
+            return None;
+        }
+        let idx = (self.tail % self.capacity() as u64) as usize;
+        let addr = self.slot_addr(idx);
+        packet.addr = addr;
+        self.slots[idx] = Some(packet);
+        self.tail += 1;
+        Some(addr)
+    }
+
+    /// Consumer side: takes the oldest queued packet.
+    ///
+    /// Popping frees the slot for NIC reuse; per §V-A, a Sweeper-enabled
+    /// stack must `relinquish` the buffer *before* the slot is recycled,
+    /// i.e. before enough subsequent `push`es wrap around to it.
+    pub fn pop(&mut self) -> Option<Packet> {
+        if self.is_empty() {
+            return None;
+        }
+        let idx = (self.head % self.capacity() as u64) as usize;
+        self.head += 1;
+        self.slots[idx].take()
+    }
+
+    /// Oldest queued packet without consuming it.
+    pub fn peek(&self) -> Option<&Packet> {
+        if self.is_empty() {
+            return None;
+        }
+        self.slots[(self.head % self.capacity() as u64) as usize].as_ref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::PacketId;
+    use sweeper_sim::addr::RegionKind;
+
+    fn pkt(id: u64) -> Packet {
+        Packet {
+            id: PacketId(id),
+            core: 0,
+            bytes: 1024,
+            arrival: id * 10,
+            delivered: id * 10 + 1,
+            addr: Addr(0),
+        }
+    }
+
+    fn ring(entries: usize) -> (AddressMap, RxRing) {
+        let mut map = AddressMap::new();
+        let r = RxRing::new(&mut map, 0, entries, 1024);
+        (map, r)
+    }
+
+    #[test]
+    fn geometry_and_region() {
+        let (map, r) = ring(4);
+        assert_eq!(r.capacity(), 4);
+        assert_eq!(r.entry_bytes(), 1024);
+        assert_eq!(r.footprint_bytes(), 4096);
+        // Every slot classifies as this core's RX region.
+        for i in 0..4 {
+            assert_eq!(map.classify(r.slot_addr(i)), RegionKind::Rx { core: 0 });
+        }
+        // Slots are disjoint, stride = entry size.
+        assert_eq!(r.slot_addr(1).0 - r.slot_addr(0).0, 1024);
+    }
+
+    #[test]
+    fn fifo_order_and_wraparound() {
+        let (_m, mut r) = ring(2);
+        assert!(r.is_empty());
+        let a0 = r.push(pkt(0)).unwrap();
+        let a1 = r.push(pkt(1)).unwrap();
+        assert!(r.is_full());
+        assert!(r.push(pkt(2)).is_none(), "full ring drops");
+        assert_eq!(r.pop().unwrap().id, PacketId(0));
+        // Freed slot 0 is reused by the next push.
+        let a2 = r.push(pkt(3)).unwrap();
+        assert_eq!(a2, a0);
+        assert_eq!(r.pop().unwrap().addr, a1);
+        assert_eq!(r.pop().unwrap().id, PacketId(3));
+        assert!(r.pop().is_none());
+    }
+
+    #[test]
+    fn push_rewrites_packet_addr() {
+        let (_m, mut r) = ring(4);
+        let addr = r.push(pkt(9)).unwrap();
+        assert_eq!(r.peek().unwrap().addr, addr);
+        assert_ne!(addr, Addr(0));
+    }
+
+    #[test]
+    fn next_slot_addr_matches_push() {
+        let (_m, mut r) = ring(3);
+        for i in 0..7 {
+            let predicted = r.next_slot_addr().unwrap();
+            let actual = r.push(pkt(i)).unwrap();
+            assert_eq!(predicted, actual);
+            r.pop();
+        }
+    }
+
+    #[test]
+    fn occupancy_tracks() {
+        let (_m, mut r) = ring(8);
+        for i in 0..5 {
+            r.push(pkt(i));
+        }
+        assert_eq!(r.occupancy(), 5);
+        r.pop();
+        r.pop();
+        assert_eq!(r.occupancy(), 3);
+        assert!(!r.is_full());
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "slot index out of range")]
+    fn slot_addr_bounds() {
+        let (_m, r) = ring(2);
+        r.slot_addr(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn zero_entries_rejected() {
+        let mut map = AddressMap::new();
+        RxRing::new(&mut map, 0, 0, 1024);
+    }
+}

@@ -1,0 +1,239 @@
+//! Sparse full-map coherence directory.
+//!
+//! The hierarchy needs to know which cores' *private* caches hold a block so
+//! that writes invalidate remote sharers, NIC writes invalidate stale CPU
+//! copies, dirty data is forwarded core-to-core, and — crucially for Sweeper —
+//! a `sweep` message can invalidate every copy of a buffer block (§V-B).
+//!
+//! The directory is sparse (a hash map keyed by block) and unbounded; this
+//! over-approximates a real sparse directory but never misses a copy, which
+//! is the property correctness depends on. The model keeps L1 ⊆ L2
+//! (back-invalidation on L2 eviction), so "private residency" is equivalent
+//! to L2 residency and the directory tracks exactly that.
+
+use std::collections::HashMap;
+
+use crate::addr::BlockAddr;
+
+/// Maximum cores a sharer bitmask supports.
+pub const MAX_CORES: usize = 64;
+
+#[derive(Debug, Clone, Copy, Default)]
+struct DirEntry {
+    /// Bit `i` set means core `i`'s private caches hold the block.
+    sharers: u64,
+    /// Core holding a dirty private copy, if any.
+    dirty_owner: Option<u16>,
+}
+
+/// Sparse directory over private-cache residency.
+///
+/// ```
+/// use sweeper_sim::coherence::Directory;
+/// use sweeper_sim::addr::BlockAddr;
+///
+/// let mut dir = Directory::new();
+/// let b = BlockAddr(5);
+/// dir.add_sharer(b, 0);
+/// dir.add_sharer(b, 3);
+/// assert_eq!(dir.sharers(b), vec![0, 3]);
+/// assert_eq!(dir.others(b, 0), vec![3]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Directory {
+    entries: HashMap<u64, DirEntry>,
+}
+
+impl Directory {
+    /// Creates an empty directory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records that `core`'s private caches now hold `block`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core >= MAX_CORES`.
+    pub fn add_sharer(&mut self, block: BlockAddr, core: u16) {
+        assert!((core as usize) < MAX_CORES, "core id out of range");
+        let e = self.entries.entry(block.0).or_default();
+        e.sharers |= 1 << core;
+    }
+
+    /// Records that `core` no longer holds `block`; clears dirty ownership if
+    /// `core` was the owner. Removes the entry once no sharers remain.
+    pub fn remove_sharer(&mut self, block: BlockAddr, core: u16) {
+        if let Some(e) = self.entries.get_mut(&block.0) {
+            e.sharers &= !(1 << core);
+            if e.dirty_owner == Some(core) {
+                e.dirty_owner = None;
+            }
+            if e.sharers == 0 {
+                self.entries.remove(&block.0);
+            }
+        }
+    }
+
+    /// Marks `core` as holding the only dirty private copy.
+    ///
+    /// The caller must have already invalidated other sharers (see
+    /// [`Directory::others`]); this method enforces that by resetting the
+    /// sharer set to `{core}`.
+    pub fn set_dirty_owner(&mut self, block: BlockAddr, core: u16) {
+        assert!((core as usize) < MAX_CORES, "core id out of range");
+        let e = self.entries.entry(block.0).or_default();
+        e.sharers = 1 << core;
+        e.dirty_owner = Some(core);
+    }
+
+    /// Downgrades a dirty owner to a plain sharer (e.g. after its data was
+    /// forwarded or written back).
+    pub fn clear_dirty(&mut self, block: BlockAddr) {
+        if let Some(e) = self.entries.get_mut(&block.0) {
+            e.dirty_owner = None;
+        }
+    }
+
+    /// The core holding a dirty private copy, if any.
+    pub fn dirty_owner(&self, block: BlockAddr) -> Option<u16> {
+        self.entries.get(&block.0).and_then(|e| e.dirty_owner)
+    }
+
+    /// All cores holding the block, ascending.
+    pub fn sharers(&self, block: BlockAddr) -> Vec<u16> {
+        match self.entries.get(&block.0) {
+            None => Vec::new(),
+            Some(e) => bits(e.sharers),
+        }
+    }
+
+    /// Cores other than `exclude` holding the block, ascending.
+    pub fn others(&self, block: BlockAddr, exclude: u16) -> Vec<u16> {
+        match self.entries.get(&block.0) {
+            None => Vec::new(),
+            Some(e) => bits(e.sharers & !(1 << exclude)),
+        }
+    }
+
+    /// Whether any core other than `exclude` holds the block.
+    pub fn shared_elsewhere(&self, block: BlockAddr, exclude: u16) -> bool {
+        self.entries
+            .get(&block.0)
+            .is_some_and(|e| e.sharers & !(1 << exclude) != 0)
+    }
+
+    /// Whether any core holds the block.
+    pub fn any_sharer(&self, block: BlockAddr) -> bool {
+        self.entries.contains_key(&block.0)
+    }
+
+    /// Removes all tracking for the block, returning the previous sharers.
+    /// Used by sweeps and NIC writes that invalidate every CPU copy.
+    pub fn drop_block(&mut self, block: BlockAddr) -> Vec<u16> {
+        match self.entries.remove(&block.0) {
+            None => Vec::new(),
+            Some(e) => bits(e.sharers),
+        }
+    }
+
+    /// Number of tracked blocks (diagnostics).
+    pub fn tracked_blocks(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+fn bits(mut mask: u64) -> Vec<u16> {
+    let mut out = Vec::with_capacity(mask.count_ones() as usize);
+    while mask != 0 {
+        let i = mask.trailing_zeros() as u16;
+        out.push(i);
+        mask &= mask - 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const B: BlockAddr = BlockAddr(77);
+
+    #[test]
+    fn add_remove_sharers() {
+        let mut d = Directory::new();
+        assert!(!d.any_sharer(B));
+        d.add_sharer(B, 1);
+        d.add_sharer(B, 5);
+        d.add_sharer(B, 5); // idempotent
+        assert_eq!(d.sharers(B), vec![1, 5]);
+        assert!(d.shared_elsewhere(B, 1));
+        assert!(!d.shared_elsewhere(B, 1) == false);
+        d.remove_sharer(B, 1);
+        assert_eq!(d.sharers(B), vec![5]);
+        assert!(!d.shared_elsewhere(B, 5));
+        d.remove_sharer(B, 5);
+        assert!(!d.any_sharer(B));
+        assert_eq!(d.tracked_blocks(), 0);
+    }
+
+    #[test]
+    fn dirty_ownership_lifecycle() {
+        let mut d = Directory::new();
+        d.add_sharer(B, 2);
+        d.add_sharer(B, 3);
+        // Core 3 writes: becomes exclusive dirty owner.
+        d.set_dirty_owner(B, 3);
+        assert_eq!(d.dirty_owner(B), Some(3));
+        assert_eq!(d.sharers(B), vec![3], "set_dirty_owner makes exclusive");
+        // Forwarding downgrades the owner.
+        d.clear_dirty(B);
+        assert_eq!(d.dirty_owner(B), None);
+        assert_eq!(d.sharers(B), vec![3]);
+    }
+
+    #[test]
+    fn removing_owner_clears_dirty() {
+        let mut d = Directory::new();
+        d.set_dirty_owner(B, 4);
+        d.remove_sharer(B, 4);
+        assert_eq!(d.dirty_owner(B), None);
+        assert!(!d.any_sharer(B));
+    }
+
+    #[test]
+    fn others_excludes_requester() {
+        let mut d = Directory::new();
+        for c in [0u16, 7, 23] {
+            d.add_sharer(B, c);
+        }
+        assert_eq!(d.others(B, 7), vec![0, 23]);
+        assert_eq!(d.others(B, 1), vec![0, 7, 23]);
+        assert_eq!(d.others(BlockAddr(123), 0), Vec::<u16>::new());
+    }
+
+    #[test]
+    fn drop_block_returns_all_sharers() {
+        let mut d = Directory::new();
+        d.add_sharer(B, 0);
+        d.add_sharer(B, 9);
+        d.set_dirty_owner(B, 9);
+        let dropped = d.drop_block(B);
+        assert_eq!(dropped, vec![9], "owner was exclusive");
+        assert!(!d.any_sharer(B));
+        assert!(d.drop_block(B).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "core id out of range")]
+    fn rejects_large_core_ids() {
+        Directory::new().add_sharer(B, 64);
+    }
+
+    #[test]
+    fn bits_helper() {
+        assert_eq!(bits(0), Vec::<u16>::new());
+        assert_eq!(bits(0b1), vec![0]);
+        assert_eq!(bits(0b1010_0001), vec![0, 5, 7]);
+    }
+}

@@ -1,0 +1,1367 @@
+//! The three-level cache hierarchy with DDIO injection and sweep support.
+//!
+//! Models the paper's simulated server (Table I): per-core private L1d and L2
+//! caches, a shared non-inclusive LLC operating as a victim cache for L2
+//! evictions, a NoC hop to the LLC, and the DRAM subsystem behind it.
+//!
+//! Three NIC packet-injection policies are supported (§III):
+//!
+//! * [`InjectionPolicy::Dma`] — conventional DMA: packets go straight to
+//!   DRAM; cached copies are invalidated.
+//! * [`InjectionPolicy::Ddio`] — DDIO: the NIC write-allocates into a
+//!   restricted set of LLC ways; hits are write-updates.
+//! * [`InjectionPolicy::Ideal`] — an unrealistic infinite side-cache for
+//!   network data: network buffers never occupy the real hierarchy and never
+//!   touch DRAM.
+//!
+//! The `sweep` operation implements the semantics of the paper's `clsweep`
+//! instruction (§V-B): every copy of a block is invalidated *without* a
+//! writeback, conserving memory bandwidth.
+
+use std::ops::Range;
+
+use crate::addr::{blocks_of, Addr, AddressMap, BlockAddr, RegionKind};
+use crate::cache::{CacheGeometry, LineOrigin, ReplacementPolicy, SetAssocCache, WayMask};
+use crate::coherence::Directory;
+use crate::dram::{Dram, DramConfig, DramOp};
+use crate::stats::{MemStats, TrafficClass};
+use crate::trace::{Trace, TraceEvent, TraceKind};
+use crate::Cycle;
+
+/// How the NIC moves arriving packets into the memory system (§III).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InjectionPolicy {
+    /// Conventional DMA to DRAM.
+    Dma,
+    /// Direct Cache Access into the LLC's DDIO ways.
+    Ddio,
+    /// Infinite separate network cache; zero network memory traffic.
+    Ideal,
+}
+
+impl std::fmt::Display for InjectionPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InjectionPolicy::Dma => f.write_str("DMA"),
+            InjectionPolicy::Ddio => f.write_str("DDIO"),
+            InjectionPolicy::Ideal => f.write_str("Ideal-DDIO"),
+        }
+    }
+}
+
+/// Full machine configuration (Table I defaults).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MachineConfig {
+    /// Number of cores (Table I: 24).
+    pub cores: usize,
+    /// Private L1 data cache geometry (48 KB, 12-way, 4 cycles).
+    pub l1: CacheGeometry,
+    /// Private L2 geometry (1.25 MB, 20-way, 14 cycles).
+    pub l2: CacheGeometry,
+    /// Shared LLC geometry (36 MB, 12-way, 35 cycles).
+    pub llc: CacheGeometry,
+    /// NoC crossbar latency to reach the LLC (8 cycles).
+    pub noc_latency: Cycle,
+    /// Number of LLC ways the NIC may write-allocate into (DDIO ways).
+    pub ddio_ways: u32,
+    /// Packet injection policy.
+    pub injection: InjectionPolicy,
+    /// DRAM configuration.
+    pub dram: DramConfig,
+    /// Per-block pipelined issue cost within a multi-block range access.
+    pub block_issue_cost: Cycle,
+    /// Cost charged to the issuing core per `clsweep` (pipelined).
+    pub sweep_issue_cost: Cycle,
+    /// Whether a CPU *read* hit leaves the (possibly dirty) line resident in
+    /// the LLC (Intel-style non-inclusive behaviour, the default) or
+    /// migrates it out like a strict victim cache. Ablation knob for the
+    /// design decision that makes consumed buffers accumulate in the DDIO
+    /// ways.
+    pub llc_read_hit_retains: bool,
+    /// Whether CPU-side LLC insertions are excluded from the DDIO ways
+    /// (strict partition) instead of being allowed anywhere (insertion-mask
+    /// semantics, the default). Ablation knob for the §VI-C "runaway
+    /// buffer" behaviour.
+    pub ddio_strict_partition: bool,
+    /// LLC replacement policy (private caches stay LRU). SRRIP is an
+    /// ablation: scan-resistant insertion interacts with how long dead
+    /// network buffers survive in the LLC.
+    pub llc_replacement: ReplacementPolicy,
+    /// Next-line prefetch into L2 on CPU demand misses that reach DRAM.
+    /// Off by default (the paper's effects are prefetch-independent); an
+    /// extension/ablation knob.
+    pub l2_next_line_prefetch: bool,
+}
+
+impl MachineConfig {
+    /// The paper's simulated 24-core server (Table I), with the default
+    /// 2-way DDIO configuration.
+    pub fn paper_default() -> Self {
+        Self {
+            cores: 24,
+            l1: CacheGeometry {
+                size_bytes: 48 * 1024,
+                ways: 12,
+                latency: 4,
+            },
+            l2: CacheGeometry {
+                size_bytes: 1280 * 1024,
+                ways: 20,
+                latency: 14,
+            },
+            llc: CacheGeometry {
+                size_bytes: 36 * 1024 * 1024,
+                ways: 12,
+                latency: 35,
+            },
+            noc_latency: 8,
+            ddio_ways: 2,
+            injection: InjectionPolicy::Ddio,
+            dram: DramConfig::paper_default(),
+            block_issue_cost: 1,
+            sweep_issue_cost: 2,
+            llc_read_hit_retains: true,
+            ddio_strict_partition: false,
+            llc_replacement: ReplacementPolicy::Lru,
+            l2_next_line_prefetch: false,
+        }
+    }
+
+    /// A scaled-down machine for fast unit tests (same shape, tiny caches).
+    pub fn tiny_for_tests() -> Self {
+        Self {
+            cores: 2,
+            l1: CacheGeometry {
+                size_bytes: 4 * 64 * 2,
+                ways: 2,
+                latency: 4,
+            },
+            l2: CacheGeometry {
+                size_bytes: 16 * 64 * 4,
+                ways: 4,
+                latency: 14,
+            },
+            llc: CacheGeometry {
+                size_bytes: 64 * 64 * 4,
+                ways: 4,
+                latency: 35,
+            },
+            noc_latency: 8,
+            ddio_ways: 2,
+            injection: InjectionPolicy::Ddio,
+            dram: DramConfig::paper_default(),
+            block_issue_cost: 1,
+            sweep_issue_cost: 2,
+            llc_read_hit_retains: true,
+            ddio_strict_partition: false,
+            llc_replacement: ReplacementPolicy::Lru,
+            l2_next_line_prefetch: false,
+        }
+    }
+
+    /// Returns a copy with a different DDIO way count.
+    pub fn with_ddio_ways(mut self, ways: u32) -> Self {
+        self.ddio_ways = ways;
+        self
+    }
+
+    /// Returns a copy with a different injection policy.
+    pub fn with_injection(mut self, policy: InjectionPolicy) -> Self {
+        self.injection = policy;
+        self
+    }
+
+    /// Returns a copy with a different memory channel count.
+    pub fn with_channels(mut self, channels: usize) -> Self {
+        self.dram = DramConfig::with_channels(channels);
+        self
+    }
+}
+
+/// Outcome of a CPU range access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Access {
+    /// Latency observed by the issuing core, in cycles. Blocks within one
+    /// range access are issued back-to-back and overlap (the 352-entry-ROB
+    /// OOO cores of Table I easily cover a buffer copy), so the range
+    /// latency is the slowest block's completion plus a per-block issue
+    /// cost.
+    pub latency: Cycle,
+    /// Number of cache blocks touched.
+    pub blocks: u64,
+    /// Blocks that had to be fetched from DRAM.
+    pub dram_fetches: u64,
+}
+
+/// Outcome of a NIC-side range operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NicAccess {
+    /// Number of cache blocks touched.
+    pub blocks: u64,
+    /// DRAM transfers this operation performed directly (injection writes,
+    /// TX reads) — evictions it *caused* are counted in [`MemStats`] only.
+    pub dram_transfers: u64,
+}
+
+/// The simulated memory system.
+///
+/// See the [crate-level documentation](crate) for an end-to-end example.
+#[derive(Debug, Clone)]
+pub struct MemorySystem {
+    cfg: MachineConfig,
+    l1: Vec<SetAssocCache>,
+    l2: Vec<SetAssocCache>,
+    llc: SetAssocCache,
+    dir: Directory,
+    dram: Dram,
+    stats: MemStats,
+    map: AddressMap,
+    ddio_mask: WayMask,
+    cpu_masks: Vec<WayMask>,
+    trace: Option<Trace>,
+}
+
+impl MemorySystem {
+    /// Builds an idle memory system.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.cores` is zero or exceeds the directory's 64-core
+    /// limit, or `cfg.ddio_ways` exceeds the LLC associativity.
+    pub fn new(cfg: MachineConfig) -> Self {
+        assert!(
+            cfg.cores >= 1 && cfg.cores <= crate::coherence::MAX_CORES,
+            "core count out of range"
+        );
+        assert!(
+            cfg.ddio_ways >= 1 && cfg.ddio_ways as usize <= cfg.llc.ways,
+            "DDIO ways must be within LLC associativity"
+        );
+        let l1 = (0..cfg.cores).map(|_| SetAssocCache::new(cfg.l1)).collect();
+        let l2 = (0..cfg.cores).map(|_| SetAssocCache::new(cfg.l2)).collect();
+        Self {
+            l1,
+            l2,
+            llc: SetAssocCache::with_policy(cfg.llc, cfg.llc_replacement),
+            dir: Directory::new(),
+            dram: Dram::new(cfg.dram),
+            stats: MemStats::new(),
+            map: AddressMap::new(),
+            ddio_mask: WayMask::first(cfg.ddio_ways),
+            cpu_masks: vec![WayMask::ALL; cfg.cores],
+            trace: None,
+            cfg,
+        }
+    }
+
+    /// The machine configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.cfg
+    }
+
+    /// The address map, for allocating classified regions.
+    pub fn address_map_mut(&mut self) -> &mut AddressMap {
+        &mut self.map
+    }
+
+    /// Read-only view of the address map.
+    pub fn address_map(&self) -> &AddressMap {
+        &self.map
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &MemStats {
+        &self.stats
+    }
+
+    /// The DRAM subsystem (latency histograms, channel counters).
+    pub fn dram(&self) -> &Dram {
+        &self.dram
+    }
+
+    /// The shared LLC (occupancy diagnostics).
+    pub fn llc(&self) -> &SetAssocCache {
+        &self.llc
+    }
+
+    /// Enables event tracing, retaining the most recent `capacity` events.
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.trace = Some(Trace::new(capacity));
+    }
+
+    /// Disables tracing and returns the recorder, if any.
+    pub fn take_trace(&mut self) -> Option<Trace> {
+        self.trace.take()
+    }
+
+    /// The trace recorder, if tracing is enabled.
+    pub fn trace(&self) -> Option<&Trace> {
+        self.trace.as_ref()
+    }
+
+    #[inline]
+    fn trace_event(&mut self, at: Cycle, kind: TraceKind, core: u16, block: BlockAddr, blocks: u32, latency: Cycle) {
+        if let Some(trace) = &mut self.trace {
+            trace.record(TraceEvent { at, kind, core, block, blocks, latency });
+        }
+    }
+
+    /// Clears statistics and recorded DRAM latencies (end of warmup).
+    pub fn reset_stats(&mut self) {
+        self.stats = MemStats::new();
+        self.dram.reset_counters();
+    }
+
+    /// Restricts the LLC ways the NIC may allocate into. Used by the
+    /// collocation experiments (§VI-E) to pin DDIO into partition A.
+    pub fn set_ddio_mask(&mut self, mask: WayMask) {
+        assert!(
+            mask.count_in(self.cfg.llc.ways) > 0,
+            "DDIO mask allows no LLC ways"
+        );
+        self.ddio_mask = mask;
+    }
+
+    /// Restricts the LLC ways CPU-side insertions from `core` may allocate
+    /// into (Intel CAT-style partitioning, §VI-E).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range or the mask is empty.
+    pub fn set_cpu_llc_mask(&mut self, core: u16, mask: WayMask) {
+        assert!(
+            mask.count_in(self.cfg.llc.ways) > 0,
+            "CPU mask allows no LLC ways"
+        );
+        self.cpu_masks[core as usize] = mask;
+    }
+
+    fn eviction_class(kind: RegionKind) -> TrafficClass {
+        match kind {
+            RegionKind::Rx { .. } => TrafficClass::RxEvct,
+            RegionKind::Tx { .. } => TrafficClass::TxEvct,
+            RegionKind::App | RegionKind::Other => TrafficClass::OtherEvct,
+        }
+    }
+
+    fn cpu_read_class(kind: RegionKind) -> TrafficClass {
+        match kind {
+            RegionKind::Rx { .. } => TrafficClass::CpuRxRd,
+            RegionKind::Tx { .. } => TrafficClass::CpuTxRdWr,
+            RegionKind::App | RegionKind::Other => TrafficClass::CpuOtherRd,
+        }
+    }
+
+    fn is_network(kind: RegionKind) -> bool {
+        kind.is_rx() || kind.is_tx()
+    }
+
+    /// Writes a dirty block back to DRAM, attributed to its region.
+    ///
+    /// Returns the stall the *triggering* access must absorb when the memory
+    /// system's write path is backlogged — the writeback-queue-full stall of
+    /// a real miss pipeline. Without it, eviction-heavy producers would dump
+    /// unbounded posted write work whose latency only unrelated readers pay.
+    fn writeback(&mut self, block: BlockAddr, now: Cycle) -> Cycle {
+        let kind = self.map.classify_block(block);
+        if self.cfg.injection == InjectionPolicy::Ideal && Self::is_network(kind) {
+            // Ideal-DDIO: network data never produces memory traffic.
+            return 0;
+        }
+        const WRITE_ALLOWANCE: Cycle = 2_000;
+        let stall = self.dram.backlog(now).saturating_sub(WRITE_ALLOWANCE);
+        let class = Self::eviction_class(kind);
+        self.dram.access(block, now, DramOp::Write);
+        self.stats.dram_writes.bump(class);
+        self.trace_event(now, TraceKind::Writeback, u16::MAX, block, 1, 0);
+        stall
+    }
+
+    /// Installs a block into the LLC (victim path / DDIO allocation),
+    /// handling the displaced victim's writeback. Returns the write-path
+    /// stall to charge to the triggering access.
+    fn llc_install(
+        &mut self,
+        block: BlockAddr,
+        dirty: bool,
+        origin: LineOrigin,
+        mask: WayMask,
+        now: Cycle,
+    ) -> Cycle {
+        if let Some(ev) = self.llc.insert(block, dirty, origin, mask) {
+            if ev.line.origin == LineOrigin::Nic && ev.line.dirty {
+                match origin {
+                    LineOrigin::Nic => self.stats.nic_lines_evicted_by_nic += 1,
+                    LineOrigin::Cpu => self.stats.nic_lines_evicted_by_cpu += 1,
+                }
+            }
+            if ev.line.dirty {
+                return self.writeback(ev.line.block, now);
+            }
+        }
+        0
+    }
+
+    /// Handles an L2 eviction: back-invalidates the core's L1 (inclusion),
+    /// updates the directory, and spills the line into the LLC. Returns the
+    /// write-path stall to charge to the triggering access.
+    fn handle_l2_eviction(&mut self, core: u16, block: BlockAddr, mut dirty: bool, now: Cycle) -> Cycle {
+        if let Some(l1line) = self.l1[core as usize].invalidate(block) {
+            dirty |= l1line.dirty;
+        }
+        self.dir.remove_sharer(block, core);
+        // Victim LLC: L2 evictions (clean or dirty) allocate in the LLC,
+        // using the core's CPU insertion mask — deliberately NOT the DDIO
+        // mask, which is what lets prematurely-evicted-and-reread network
+        // buffers "run away" into non-DDIO ways (§VI-C). The strict-
+        // partition ablation excludes the DDIO ways instead.
+        let mut mask = self.cpu_masks[core as usize];
+        if self.cfg.ddio_strict_partition {
+            let outside = WayMask(mask.0 & !self.ddio_mask.0);
+            if outside.count_in(self.cfg.llc.ways) > 0 {
+                mask = outside;
+            }
+        }
+        self.llc_install(block, dirty, LineOrigin::Cpu, mask, now)
+    }
+
+    /// Installs a block into a core's private L1+L2 after a fill. Returns
+    /// the write-path stall to charge to the triggering access.
+    fn fill_private(&mut self, core: u16, block: BlockAddr, dirty: bool, now: Cycle) -> Cycle {
+        let c = core as usize;
+        let mut stall = 0;
+        if let Some(ev) = self.l2[c].insert(block, dirty, LineOrigin::Cpu, WayMask::ALL) {
+            stall = self.handle_l2_eviction(core, ev.line.block, ev.line.dirty, now);
+        }
+        if let Some(ev) = self.l1[c].insert(block, dirty, LineOrigin::Cpu, WayMask::ALL) {
+            // Inclusion guarantees the evicted L1 line is still in L2;
+            // propagate dirtiness there.
+            if ev.line.dirty && !self.l2[c].mark_dirty(ev.line.block) {
+                debug_assert!(false, "L1 ⊆ L2 inclusion violated");
+                self.stats.dirty_dropped_unexpectedly += 1;
+            }
+        }
+        self.dir.add_sharer(block, core);
+        stall
+    }
+
+    /// One CPU block access. Returns the latency seen by the core and
+    /// whether DRAM was accessed.
+    fn cpu_block_access(
+        &mut self,
+        core: u16,
+        block: BlockAddr,
+        now: Cycle,
+        write: bool,
+    ) -> (Cycle, bool) {
+        let c = core as usize;
+        let kind = self.map.classify_block(block);
+        let mut latency = self.cfg.l1.latency;
+
+        // L1.
+        if self.l1[c].lookup(block).is_some() {
+            if write {
+                self.l1[c].mark_dirty(block);
+                self.l2[c].mark_dirty(block);
+                self.resolve_remote_sharers(core, block, now);
+                self.dir.set_dirty_owner(block, core);
+            }
+            return (latency, false);
+        }
+
+        // L2.
+        latency += self.cfg.l2.latency;
+        if let Some(line) = self.l2[c].lookup(block) {
+            if let Some(ev) = self.l1[c].insert(block, line.dirty, LineOrigin::Cpu, WayMask::ALL) {
+                if ev.line.dirty {
+                    let present = self.l2[c].mark_dirty(ev.line.block);
+                    debug_assert!(present, "L1 ⊆ L2 inclusion violated");
+                }
+            }
+            if write {
+                self.l1[c].mark_dirty(block);
+                self.l2[c].mark_dirty(block);
+                self.resolve_remote_sharers(core, block, now);
+                self.dir.set_dirty_owner(block, core);
+            }
+            return (latency, false);
+        }
+
+        // Beyond the private caches: NoC hop + LLC lookup.
+        latency += self.cfg.noc_latency + self.cfg.llc.latency;
+
+        // Ideal-DDIO short-circuit: network blocks always "hit" in the
+        // infinite network cache and are never installed anywhere.
+        if self.cfg.injection == InjectionPolicy::Ideal && Self::is_network(kind) {
+            self.stats.llc_hits += 1;
+            return (latency, false);
+        }
+
+        // LLC. Non-inclusive (Table I): on a read hit the LLC *retains* the
+        // line — crucially including its dirty state when the NIC wrote it —
+        // and hands a clean copy to the private caches. This is what makes
+        // consumed network buffers accumulate as dirty lines in the DDIO
+        // ways until eviction (§IV-A). A write hit migrates the line out
+        // (exclusive ownership).
+        if let Some(line) = self.llc.lookup(block) {
+            self.stats.llc_hits += 1;
+            if write {
+                self.llc.invalidate(block);
+                latency += self.fill_private(core, block, line.dirty, now);
+                self.l1[c].mark_dirty(block);
+                self.l2[c].mark_dirty(block);
+                self.resolve_remote_sharers(core, block, now);
+                self.dir.set_dirty_owner(block, core);
+            } else if self.cfg.llc_read_hit_retains {
+                latency += self.fill_private(core, block, false, now);
+            } else {
+                // Strict-victim ablation: the hit migrates the line (and its
+                // dirty state) out of the LLC entirely.
+                self.llc.invalidate(block);
+                latency += self.fill_private(core, block, line.dirty, now);
+            }
+            return (latency, false);
+        }
+
+        // Remote private caches (cache-to-cache transfer).
+        if let Some(owner) = self.dir.dirty_owner(block) {
+            if owner != core {
+                // MESI M→S downgrade: forward data, write back to memory.
+                self.stats.c2c_transfers += 1;
+                self.clean_private_copy(owner, block);
+                self.dir.clear_dirty(block);
+                self.writeback(block, now);
+                latency += self.cfg.noc_latency; // extra hop to the owner
+                latency += self.fill_private(core, block, false, now);
+                if write {
+                    self.l1[c].mark_dirty(block);
+                    self.l2[c].mark_dirty(block);
+                    self.resolve_remote_sharers(core, block, now);
+                    self.dir.set_dirty_owner(block, core);
+                }
+                return (latency, false);
+            }
+        } else if self.dir.shared_elsewhere(block, core) {
+            // Clean copy in another core's private cache: forward on-die.
+            self.stats.c2c_transfers += 1;
+            latency += self.cfg.noc_latency;
+            latency += self.fill_private(core, block, false, now);
+            if write {
+                self.l1[c].mark_dirty(block);
+                self.l2[c].mark_dirty(block);
+                self.resolve_remote_sharers(core, block, now);
+                self.dir.set_dirty_owner(block, core);
+            }
+            return (latency, false);
+        }
+
+        // Miss everywhere: DRAM.
+        self.stats.llc_misses += 1;
+        let class = if write && kind.is_tx() {
+            TrafficClass::CpuTxRdWr
+        } else {
+            Self::cpu_read_class(kind)
+        };
+        self.stats.dram_reads.bump(class);
+        self.stats.note_core_dram_read(core);
+        let acc = self.dram.access(block, now, DramOp::Read);
+        latency += acc.latency;
+        latency += self.fill_private(core, block, false, now);
+        if write {
+            self.l1[c].mark_dirty(block);
+            self.l2[c].mark_dirty(block);
+            self.dir.set_dirty_owner(block, core);
+        }
+        // Optional next-line prefetcher: fetch block+1 into L2 in the
+        // background (bandwidth is consumed; the demand access does not
+        // wait). Skipped when the next block is already cached anywhere the
+        // core could hit it cheaply.
+        if self.cfg.l2_next_line_prefetch && !write {
+            let next = block.step(1);
+            if self.l2[c].peek(next).is_none()
+                && self.llc.peek(next).is_none()
+                && !self.dir.any_sharer(next)
+            {
+                let kind_next = self.map.classify_block(next);
+                if !(self.cfg.injection == InjectionPolicy::Ideal && Self::is_network(kind_next)) {
+                    self.stats.dram_reads.bump(Self::cpu_read_class(kind_next));
+                    self.dram.access(next, now, DramOp::Read);
+                    if let Some(ev) =
+                        self.l2[c].insert(next, false, LineOrigin::Cpu, WayMask::ALL)
+                    {
+                        self.handle_l2_eviction(core, ev.line.block, ev.line.dirty, now);
+                    }
+                    self.dir.add_sharer(next, core);
+                }
+            }
+        }
+        (latency, true)
+    }
+
+    /// Invalidates other cores' copies before `core` writes (MESI upgrade).
+    fn resolve_remote_sharers(&mut self, core: u16, block: BlockAddr, _now: Cycle) {
+        for other in self.dir.others(block, core) {
+            self.clean_private_copy(other, block);
+            self.invalidate_private(other, block);
+            self.dir.remove_sharer(block, other);
+            self.stats.invalidations += 1;
+        }
+    }
+
+    fn invalidate_private(&mut self, core: u16, block: BlockAddr) {
+        let d1 = self.l1[core as usize].invalidate(block);
+        let d2 = self.l2[core as usize].invalidate(block);
+        if d1.is_some_and(|l| l.dirty) || d2.is_some_and(|l| l.dirty) {
+            self.stats.dirty_dropped_unexpectedly += 1;
+        }
+    }
+
+    /// Invalidates a core's private copies when the NIC fully overwrites the
+    /// block; dropping dirty data is safe here.
+    fn invalidate_private_for_overwrite(&mut self, core: u16, block: BlockAddr) {
+        let d1 = self.l1[core as usize].invalidate(block);
+        let d2 = self.l2[core as usize].invalidate(block);
+        if d1.is_some_and(|l| l.dirty) || d2.is_some_and(|l| l.dirty) {
+            self.stats.dirty_dropped_by_nic_overwrite += 1;
+        }
+    }
+
+    /// Clears the dirty bit of a private copy without removing it (used on
+    /// M→S downgrades; the data has been written back by the caller).
+    fn clean_private_copy(&mut self, core: u16, block: BlockAddr) {
+        let c = core as usize;
+        if let Some(line) = self.l1[c].invalidate(block) {
+            self.l1[c].insert(line.block, false, line.origin, WayMask::ALL);
+        }
+        if let Some(line) = self.l2[c].invalidate(block) {
+            self.l2[c].insert(line.block, false, line.origin, WayMask::ALL);
+        }
+    }
+
+    fn range_access(&mut self, core: u16, addr: Addr, len: u64, now: Cycle, write: bool) -> Access {
+        let mut out = Access::default();
+        let mut max_block_latency = 0;
+        for block in blocks_of(addr, len) {
+            let (lat, dram) = self.cpu_block_access(core, block, now, write);
+            max_block_latency = max_block_latency.max(lat);
+            out.blocks += 1;
+            if dram {
+                out.dram_fetches += 1;
+            }
+        }
+        out.latency = max_block_latency + out.blocks.saturating_sub(1) * self.cfg.block_issue_cost;
+        out
+    }
+
+    /// CPU read of `[addr, addr+len)` by `core` at cycle `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn cpu_read(&mut self, core: u16, addr: Addr, len: u64, now: Cycle) -> Access {
+        assert!((core as usize) < self.cfg.cores, "core id out of range");
+        let acc = self.range_access(core, addr, len, now, false);
+        self.trace_event(now, TraceKind::CpuRead, core, addr.block(), acc.blocks as u32, acc.latency);
+        acc
+    }
+
+    /// CPU read of several independent blocks issued back-to-back (e.g. a
+    /// pointer-free random-access loop with high memory-level parallelism,
+    /// like X-Mem): the accesses overlap, so the observed latency is the
+    /// slowest block plus per-block issue cost.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn cpu_read_scatter(&mut self, core: u16, addrs: &[Addr], now: Cycle) -> Access {
+        assert!((core as usize) < self.cfg.cores, "core id out of range");
+        let mut out = Access::default();
+        let mut max_block_latency = 0;
+        for addr in addrs {
+            let (lat, dram) = self.cpu_block_access(core, addr.block(), now, false);
+            max_block_latency = max_block_latency.max(lat);
+            out.blocks += 1;
+            if dram {
+                out.dram_fetches += 1;
+            }
+        }
+        out.latency = max_block_latency + out.blocks.saturating_sub(1) * self.cfg.block_issue_cost;
+        out
+    }
+
+    /// CPU write of `[addr, addr+len)` by `core` at cycle `now`
+    /// (write-allocate with RFO semantics).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn cpu_write(&mut self, core: u16, addr: Addr, len: u64, now: Cycle) -> Access {
+        assert!((core as usize) < self.cfg.cores, "core id out of range");
+        let acc = self.range_access(core, addr, len, now, true);
+        self.trace_event(now, TraceKind::CpuWrite, core, addr.block(), acc.blocks as u32, acc.latency);
+        acc
+    }
+
+    /// Cycles a DMA/DDIO writer must stall before injecting more data, given
+    /// the memory system's current backlog. Models the PCIe/mesh
+    /// backpressure that throttles a NIC when writebacks cannot drain —
+    /// without it, posted eviction writes would grow without bound and
+    /// starve DRAM readers.
+    pub fn nic_backpressure(&self, now: Cycle) -> Cycle {
+        const ALLOWANCE: Cycle = 2_000;
+        self.dram.backlog(now).saturating_sub(ALLOWANCE)
+    }
+
+    /// NIC delivery of an arriving packet into `[addr, addr+len)` under the
+    /// configured injection policy (full-block overwrites).
+    pub fn nic_write(&mut self, addr: Addr, len: u64, now: Cycle) -> NicAccess {
+        self.trace_event(now, TraceKind::NicWrite, u16::MAX, addr.block(), crate::addr::blocks_for_len(len) as u32, 0);
+        let mut out = NicAccess::default();
+        for block in blocks_of(addr, len) {
+            out.blocks += 1;
+            // The NIC fully overwrites the block: all CPU copies become
+            // stale and are invalidated without writeback.
+            for core in self.dir.drop_block(block) {
+                self.invalidate_private_for_overwrite(core, block);
+                self.stats.invalidations += 1;
+            }
+            match self.cfg.injection {
+                InjectionPolicy::Ideal => {}
+                InjectionPolicy::Dma => {
+                    self.llc.invalidate(block);
+                    self.dram.access(block, now, DramOp::Write);
+                    self.stats.dram_writes.bump(TrafficClass::NicRxWr);
+                    out.dram_transfers += 1;
+                }
+                InjectionPolicy::Ddio => {
+                    // DDIO (re-)confines network lines to its ways on every
+                    // write: a stale copy of the buffer anywhere in the LLC
+                    // is dropped (the write fully overwrites the block, so
+                    // no writeback is needed) and the fresh data allocates
+                    // within the DDIO mask. Without re-confinement, dead
+                    // buffer lines that escaped into non-DDIO ways via
+                    // private-cache spills would turn the whole LLC into a
+                    // persistent ring cache, which neither real DDIO nor
+                    // the paper's baseline exhibits.
+                    if let Some(old) = self.llc.invalidate(block) {
+                        if old.dirty {
+                            self.stats.dirty_dropped_by_nic_overwrite += 1;
+                        }
+                        self.stats.ddio_hits += 1;
+                    } else {
+                        self.stats.ddio_allocs += 1;
+                    }
+                    self.llc_install(block, true, LineOrigin::Nic, self.ddio_mask, now);
+                }
+            }
+        }
+        out
+    }
+
+    /// NIC read of `[addr, addr+len)` on the transmit path.
+    pub fn nic_read(&mut self, addr: Addr, len: u64, now: Cycle) -> NicAccess {
+        self.trace_event(now, TraceKind::NicRead, u16::MAX, addr.block(), crate::addr::blocks_for_len(len) as u32, 0);
+        let mut out = NicAccess::default();
+        for block in blocks_of(addr, len) {
+            out.blocks += 1;
+            let kind = self.map.classify_block(block);
+            match self.cfg.injection {
+                InjectionPolicy::Ideal if Self::is_network(kind) => {}
+                InjectionPolicy::Dma => {
+                    // The NIC reads from DRAM; any dirty cached copy must be
+                    // flushed first.
+                    if let Some(owner) = self.dir.dirty_owner(block) {
+                        self.clean_private_copy(owner, block);
+                        self.dir.clear_dirty(block);
+                        self.writeback(block, now);
+                    } else if self.llc.peek(block).is_some_and(|l| l.dirty) {
+                        self.llc.invalidate(block);
+                        self.llc
+                            .insert(block, false, LineOrigin::Cpu, WayMask::ALL);
+                        self.writeback(block, now);
+                    }
+                    self.dram.access(block, now, DramOp::Read);
+                    self.stats.dram_reads.bump(TrafficClass::NicTxRd);
+                    out.dram_transfers += 1;
+                }
+                InjectionPolicy::Ddio | InjectionPolicy::Ideal => {
+                    if self.dir.any_sharer(block) {
+                        // On-die forward from a private cache (dirty or
+                        // clean); the private copy's state is unchanged.
+                        self.stats.c2c_transfers += 1;
+                    } else if self.llc.lookup(block).is_some() {
+                        self.stats.llc_hits += 1;
+                    } else {
+                        self.stats.llc_misses += 1;
+                        self.dram.access(block, now, DramOp::Read);
+                        self.stats.dram_reads.bump(TrafficClass::NicTxRd);
+                        out.dram_transfers += 1;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Sweeps one block: every cached copy is invalidated and *no* dirty data
+    /// is written back (`clsweep`, §V-B). Returns the number of dirty copies
+    /// whose writeback was suppressed.
+    pub fn sweep_block(&mut self, block: BlockAddr) -> u64 {
+        let mut saved = 0;
+        for core in self.dir.drop_block(block) {
+            let c = core as usize;
+            let d1 = self.l1[c].invalidate(block).is_some_and(|l| l.dirty);
+            let d2 = self.l2[c].invalidate(block).is_some_and(|l| l.dirty);
+            if d1 || d2 {
+                saved += 1;
+            }
+            self.stats.swept_blocks += 1;
+        }
+        if let Some(line) = self.llc.invalidate(block) {
+            self.stats.swept_blocks += 1;
+            if line.dirty {
+                saved += 1;
+            }
+        }
+        self.stats.sweep_saved_writebacks += saved;
+        saved
+    }
+
+    /// Sweeps `[addr, addr+len)` and returns the latency charged to the
+    /// issuing core (the `relinquish` library call of §V-A compiles to one
+    /// `clsweep` per block; sweeps are pipelined).
+    pub fn sweep_range(&mut self, addr: Addr, len: u64, now: Cycle) -> Cycle {
+        let mut blocks = 0;
+        for block in blocks_of(addr, len) {
+            self.sweep_block(block);
+            blocks += 1;
+        }
+        let latency = blocks * self.cfg.sweep_issue_cost;
+        self.trace_event(now, TraceKind::Sweep, u16::MAX, addr.block(), blocks as u32, latency);
+        latency
+    }
+
+    /// Flushes (CLWB-style) `[addr, addr+len)`: dirty copies are written
+    /// back to memory and all copies become clean but stay resident. Models
+    /// the kernel mitigation for the page-recycling privacy concern (§V-B).
+    pub fn flush_range(&mut self, addr: Addr, len: u64, now: Cycle) -> u64 {
+        let mut written = 0;
+        for block in blocks_of(addr, len) {
+            let mut dirty = false;
+            if let Some(owner) = self.dir.dirty_owner(block) {
+                self.clean_private_copy(owner, block);
+                self.dir.clear_dirty(block);
+                dirty = true;
+            }
+            if self.llc.peek(block).is_some_and(|l| l.dirty) {
+                self.llc.invalidate(block);
+                self.llc
+                    .insert(block, false, LineOrigin::Cpu, WayMask::ALL);
+                dirty = true;
+            }
+            if dirty {
+                self.writeback(block, now);
+                written += 1;
+            }
+        }
+        written
+    }
+
+    /// OS-scheduled DMA write of `[addr, addr+len)` that bypasses the cache
+    /// hierarchy: cached copies are invalidated (the DMA fully overwrites the
+    /// range) and the data lands in DRAM. Models the kernel zeroing a page
+    /// "by scheduling a conventional DMA that does not make use of DDIO",
+    /// the first mitigation for the page-recycling privacy concern (§V-B).
+    pub fn dma_zero_range(&mut self, addr: Addr, len: u64, now: Cycle) -> u64 {
+        let mut written = 0;
+        for block in blocks_of(addr, len) {
+            for core in self.dir.drop_block(block) {
+                self.invalidate_private_for_overwrite(core, block);
+                self.stats.invalidations += 1;
+            }
+            self.llc.invalidate(block);
+            self.dram.access(block, now, DramOp::Write);
+            self.stats
+                .dram_writes
+                .bump(Self::eviction_class(self.map.classify_block(block)));
+            written += 1;
+        }
+        written
+    }
+
+    /// LLC lines currently holding blocks of the given region kind
+    /// (diagnostics; O(LLC capacity)).
+    pub fn llc_occupancy_of(&self, pred: impl Fn(RegionKind) -> bool) -> u64 {
+        self.llc
+            .iter_lines()
+            .filter(|l| pred(self.map.classify_block(l.block)))
+            .count() as u64
+    }
+
+    /// Whether a block is resident anywhere in the hierarchy (tests).
+    pub fn resident_anywhere(&self, block: BlockAddr) -> bool {
+        self.llc.peek(block).is_some()
+            || self.dir.any_sharer(block)
+            || self
+                .l1
+                .iter()
+                .chain(self.l2.iter())
+                .any(|c| c.peek(block).is_some())
+    }
+
+    /// Direct access to a core's private L1 (tests/diagnostics).
+    pub fn l1_of(&self, core: u16) -> &SetAssocCache {
+        &self.l1[core as usize]
+    }
+
+    /// Direct access to a core's private L2 (tests/diagnostics).
+    pub fn l2_of(&self, core: u16) -> &SetAssocCache {
+        &self.l2[core as usize]
+    }
+
+    /// Core id range helper.
+    pub fn cores(&self) -> Range<u16> {
+        0..self.cfg.cores as u16
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn system(policy: InjectionPolicy, ddio_ways: u32) -> MemorySystem {
+        let cfg = MachineConfig::tiny_for_tests()
+            .with_injection(policy)
+            .with_ddio_ways(ddio_ways);
+        MemorySystem::new(cfg)
+    }
+
+    fn rx_region(mem: &mut MemorySystem, bytes: u64) -> Addr {
+        mem.address_map_mut().alloc(bytes, RegionKind::Rx { core: 0 })
+    }
+
+    #[test]
+    fn paper_default_matches_table_1() {
+        let cfg = MachineConfig::paper_default();
+        assert_eq!(cfg.cores, 24);
+        assert_eq!(cfg.l1.size_bytes, 48 * 1024);
+        assert_eq!(cfg.l1.ways, 12);
+        assert_eq!(cfg.l1.latency, 4);
+        assert_eq!(cfg.l2.size_bytes, 1280 * 1024);
+        assert_eq!(cfg.l2.ways, 20);
+        assert_eq!(cfg.l2.latency, 14);
+        assert_eq!(cfg.llc.size_bytes, 36 * 1024 * 1024);
+        assert_eq!(cfg.llc.ways, 12);
+        assert_eq!(cfg.llc.latency, 35);
+        assert_eq!(cfg.noc_latency, 8);
+        assert_eq!(cfg.dram.channels, 4);
+    }
+
+    #[test]
+    fn l1_hit_after_first_read() {
+        let mut mem = system(InjectionPolicy::Ddio, 2);
+        let a = mem.address_map_mut().alloc(64, RegionKind::App);
+        let first = mem.cpu_read(0, a, 64, 0);
+        assert_eq!(first.dram_fetches, 1, "cold miss goes to DRAM");
+        let second = mem.cpu_read(0, a, 64, 1000);
+        assert_eq!(second.dram_fetches, 0);
+        assert_eq!(second.latency, mem.config().l1.latency);
+    }
+
+    #[test]
+    fn ddio_write_then_cpu_read_hits_llc() {
+        let mut mem = system(InjectionPolicy::Ddio, 2);
+        let a = rx_region(&mut mem, 1024);
+        let w = mem.nic_write(a, 1024, 0);
+        assert_eq!(w.blocks, 16);
+        assert_eq!(w.dram_transfers, 0, "DDIO does not touch DRAM");
+        let r = mem.cpu_read(0, a, 1024, 100);
+        assert_eq!(r.dram_fetches, 0, "packet found in LLC");
+        assert!(mem.stats().llc_hits >= 16);
+    }
+
+    #[test]
+    fn dma_write_goes_to_dram_and_read_misses() {
+        let mut mem = system(InjectionPolicy::Dma, 2);
+        let a = rx_region(&mut mem, 512);
+        let w = mem.nic_write(a, 512, 0);
+        assert_eq!(w.dram_transfers, 8);
+        assert_eq!(mem.stats().dram_writes[TrafficClass::NicRxWr], 8);
+        let r = mem.cpu_read(0, a, 512, 100);
+        assert_eq!(r.dram_fetches, 8);
+        assert_eq!(mem.stats().dram_reads[TrafficClass::CpuRxRd], 8);
+    }
+
+    #[test]
+    fn ideal_network_data_never_touches_dram_or_caches() {
+        let mut mem = system(InjectionPolicy::Ideal, 2);
+        let rx = rx_region(&mut mem, 1024);
+        let tx = mem.address_map_mut().alloc(1024, RegionKind::Tx { core: 0 });
+        mem.nic_write(rx, 1024, 0);
+        mem.cpu_read(0, rx, 1024, 10);
+        mem.cpu_write(0, tx, 1024, 20);
+        mem.nic_read(tx, 1024, 30);
+        assert_eq!(mem.stats().dram_accesses(), 0);
+        assert!(!mem.resident_anywhere(rx.block()));
+        assert_eq!(mem.llc().resident_lines(), 0);
+    }
+
+    #[test]
+    fn ddio_eviction_of_consumed_buffer_is_rx_evct() {
+        // 1-way-DDIO tiny LLC: hammer more RX blocks than the DDIO ways
+        // hold; evicted dirty NIC lines must be counted as RX Evct.
+        let mut mem = system(InjectionPolicy::Ddio, 1);
+        let a = rx_region(&mut mem, 64 * 64 * 8); // far exceeds 1 LLC way
+        mem.nic_write(a, 64 * 64 * 8, 0);
+        assert!(
+            mem.stats().dram_writes[TrafficClass::RxEvct] > 0,
+            "dirty consumed buffers must be written back"
+        );
+        assert_eq!(mem.stats().dram_writes[TrafficClass::NicRxWr], 0);
+    }
+
+    #[test]
+    fn sweep_suppresses_writebacks() {
+        let mut mem = system(InjectionPolicy::Ddio, 1);
+        let a = rx_region(&mut mem, 64 * 64 * 8);
+        // Write one block, sweep it, and reuse the slot: the allocation
+        // finds the swept (invalid) way, so reuse causes no writeback.
+        mem.nic_write(a, 64, 0);
+        let before = mem.stats().dram_writes[TrafficClass::RxEvct];
+        mem.sweep_range(a, 64, 10);
+        assert!(mem.stats().sweep_saved_writebacks > 0);
+        assert!(!mem.resident_anywhere(a.block()));
+        mem.nic_write(a, 64, 20);
+        assert_eq!(
+            mem.stats().dram_writes[TrafficClass::RxEvct],
+            before,
+            "no RX writebacks after sweeping"
+        );
+        // Baseline contrast: without a sweep, a dirty line evicted by a
+        // colliding allocation *is* written back. Force the collision by
+        // reusing the same block (re-confinement invalidates in place, so
+        // write a second distinct round over the whole region instead).
+        let mut baseline = system(InjectionPolicy::Ddio, 1);
+        let b = {
+            let m = baseline.address_map_mut();
+            m.alloc(64 * 64 * 8, RegionKind::Rx { core: 0 })
+        };
+        baseline.nic_write(b, 64 * 64 * 8, 0);
+        assert!(
+            baseline.stats().dram_writes[TrafficClass::RxEvct] > 0,
+            "unswept churn must produce writebacks"
+        );
+    }
+
+    #[test]
+    fn sweep_invalidates_private_copies_without_writeback() {
+        let mut mem = system(InjectionPolicy::Ddio, 2);
+        let a = mem.address_map_mut().alloc(64, RegionKind::App);
+        mem.cpu_write(0, a, 64, 0); // dirty in core 0's L1/L2
+        let dram_before = mem.stats().dram_accesses();
+        let saved = mem.sweep_block(a.block());
+        assert_eq!(saved, 1);
+        assert!(!mem.resident_anywhere(a.block()));
+        assert_eq!(mem.stats().dram_accesses(), dram_before);
+        // Re-read must go to DRAM (the swept value is lost).
+        let r = mem.cpu_read(0, a, 64, 100);
+        assert_eq!(r.dram_fetches, 1);
+    }
+
+    #[test]
+    fn cpu_write_dirties_and_later_eviction_writes_back() {
+        let mut mem = system(InjectionPolicy::Ddio, 2);
+        let tx = mem.address_map_mut().alloc(64, RegionKind::Tx { core: 0 });
+        mem.cpu_write(0, tx, 64, 0);
+        // Thrash core 0's private caches and the LLC with app data.
+        let app = mem.address_map_mut().alloc(64 * 64 * 16, RegionKind::App);
+        mem.cpu_read(0, app, 64 * 64 * 16, 100);
+        assert!(
+            mem.stats().dram_writes[TrafficClass::TxEvct] > 0,
+            "dirty TX buffer must eventually be written back"
+        );
+    }
+
+    #[test]
+    fn nic_tx_read_finds_private_dirty_copy() {
+        let mut mem = system(InjectionPolicy::Ddio, 2);
+        let tx = mem.address_map_mut().alloc(128, RegionKind::Tx { core: 0 });
+        mem.cpu_write(0, tx, 128, 0);
+        let r = mem.nic_read(tx, 128, 10);
+        assert_eq!(r.dram_transfers, 0, "forwarded on-die");
+        assert!(mem.stats().c2c_transfers >= 2);
+    }
+
+    #[test]
+    fn dma_nic_tx_read_flushes_dirty_copy() {
+        let mut mem = system(InjectionPolicy::Dma, 2);
+        let tx = mem.address_map_mut().alloc(64, RegionKind::Tx { core: 0 });
+        mem.cpu_write(0, tx, 64, 0);
+        let r = mem.nic_read(tx, 64, 10);
+        assert_eq!(r.dram_transfers, 1);
+        assert_eq!(mem.stats().dram_writes[TrafficClass::TxEvct], 1);
+        assert_eq!(mem.stats().dram_reads[TrafficClass::NicTxRd], 1);
+    }
+
+    #[test]
+    fn nic_write_invalidates_stale_cpu_copies() {
+        let mut mem = system(InjectionPolicy::Ddio, 2);
+        let rx = rx_region(&mut mem, 64);
+        mem.nic_write(rx, 64, 0);
+        mem.cpu_read(0, rx, 64, 10); // copy now in core 0 private caches
+        mem.nic_write(rx, 64, 20); // buffer reuse: overwrite
+        assert!(mem.l1_of(0).peek(rx.block()).is_none());
+        assert!(mem.l2_of(0).peek(rx.block()).is_none());
+        assert!(mem.llc.peek(rx.block()).is_some());
+    }
+
+    #[test]
+    fn ddio_mask_confines_nic_allocations() {
+        let mut mem = system(InjectionPolicy::Ddio, 1);
+        let rx = rx_region(&mut mem, 64 * 64 * 8);
+        mem.nic_write(rx, 64 * 64 * 8, 0);
+        // With 1 DDIO way of a 4-way LLC, NIC lines can hold at most 1/4 of
+        // the LLC.
+        let nic_lines = mem.llc.resident_by_origin(LineOrigin::Nic);
+        let llc_lines = mem.llc.geometry().sets() as u64 * 4;
+        assert!(nic_lines <= llc_lines / 4);
+    }
+
+    #[test]
+    fn cross_core_sharing_forwards_dirty_data() {
+        let mut mem = system(InjectionPolicy::Ddio, 2);
+        let a = mem.address_map_mut().alloc(64, RegionKind::App);
+        mem.cpu_write(0, a, 64, 0);
+        let r = mem.cpu_read(1, a, 64, 100);
+        assert_eq!(r.dram_fetches, 0, "dirty data forwarded, not re-read");
+        assert_eq!(mem.stats().c2c_transfers, 1);
+        // MESI downgrade wrote the data back.
+        assert_eq!(mem.stats().dram_writes[TrafficClass::OtherEvct], 1);
+    }
+
+    #[test]
+    fn write_invalidates_remote_sharers() {
+        let mut mem = system(InjectionPolicy::Ddio, 2);
+        let a = mem.address_map_mut().alloc(64, RegionKind::App);
+        mem.cpu_read(0, a, 64, 0);
+        mem.cpu_read(1, a, 64, 10);
+        mem.cpu_write(1, a, 64, 20);
+        assert!(mem.l1_of(0).peek(a.block()).is_none());
+        assert!(mem.l2_of(0).peek(a.block()).is_none());
+        assert!(mem.stats().invalidations >= 1);
+    }
+
+    #[test]
+    fn flush_range_writes_back_and_keeps_clean_copy() {
+        let mut mem = system(InjectionPolicy::Ddio, 2);
+        let a = mem.address_map_mut().alloc(128, RegionKind::App);
+        mem.cpu_write(0, a, 128, 0);
+        let written = mem.flush_range(a, 128, 10);
+        assert_eq!(written, 2);
+        assert_eq!(mem.stats().dram_writes[TrafficClass::OtherEvct], 2);
+        // Copies survive, now clean: a sweep saves nothing.
+        assert!(mem.resident_anywhere(a.block()));
+        assert_eq!(mem.sweep_block(a.block()), 0);
+    }
+
+    #[test]
+    fn llc_read_hit_retains_dirty_line() {
+        // Non-inclusive LLC (Table I): a CPU *read* hit hands out a clean
+        // copy but keeps the line — including the dirty state the NIC wrote.
+        // This is what makes consumed buffers accumulate in the DDIO ways.
+        let mut mem = system(InjectionPolicy::Ddio, 2);
+        let rx = rx_region(&mut mem, 64);
+        mem.nic_write(rx, 64, 0);
+        mem.cpu_read(0, rx, 64, 10);
+        let line = mem.llc.peek(rx.block()).expect("line retained");
+        assert!(line.dirty, "dirty state stays with the LLC copy");
+        assert!(mem.l2_of(0).peek(rx.block()).is_some_and(|l| !l.dirty));
+    }
+
+    #[test]
+    fn llc_write_hit_migrates_line_out() {
+        // A write needs exclusive ownership: the LLC copy is invalidated and
+        // the dirty line lives in the writer's private caches.
+        let mut mem = system(InjectionPolicy::Ddio, 2);
+        let a = mem.address_map_mut().alloc(64, RegionKind::App);
+        // Park the line in the LLC via an L2 eviction path: write it, then
+        // flush it out of the private caches by sweeping L1/L2 only — easier:
+        // use the NIC to place it (App region works the same way).
+        mem.nic_write(a, 64, 0);
+        assert!(mem.llc.peek(a.block()).is_some());
+        mem.cpu_write(0, a, 64, 10);
+        assert!(
+            mem.llc.peek(a.block()).is_none(),
+            "write hit migrates the line to the writer"
+        );
+        assert!(mem.l1_of(0).peek(a.block()).is_some_and(|l| l.dirty));
+    }
+
+    #[test]
+    fn multi_block_access_overlaps_latency() {
+        let mut mem = system(InjectionPolicy::Ddio, 2);
+        let a = mem.address_map_mut().alloc(1024, RegionKind::App);
+        let acc = mem.cpu_read(0, a, 1024, 0);
+        assert_eq!(acc.blocks, 16);
+        // Far less than 16 serialized DRAM accesses.
+        let serialized = 16 * mem.config().dram.unloaded_latency();
+        assert!(acc.latency < serialized);
+    }
+
+    #[test]
+    fn llc_occupancy_probe() {
+        let mut mem = system(InjectionPolicy::Ddio, 2);
+        let rx = rx_region(&mut mem, 64 * 8);
+        mem.nic_write(rx, 64 * 8, 0);
+        assert_eq!(mem.llc_occupancy_of(|k| k.is_rx()), 8);
+        assert_eq!(mem.llc_occupancy_of(|k| k.is_tx()), 0);
+    }
+
+    #[test]
+    fn dirty_line_conservation() {
+        // Every dirtied block must eventually reach DRAM (writeback),
+        // still be cached dirty, or have been legitimately dropped by a
+        // NIC overwrite or a sweep. Unexpected drops must be zero.
+        let mut mem = system(InjectionPolicy::Ddio, 2);
+        let tx = mem.address_map_mut().alloc(64 * 64, RegionKind::Tx { core: 0 });
+        let app = mem.address_map_mut().alloc(64 * 64 * 64, RegionKind::App);
+        // Dirty the whole TX region once, then stream several LLC's worth
+        // of app data through the hierarchy to flush it out.
+        mem.cpu_write(0, tx, 64 * 64, 0);
+        let mut t = 10_000;
+        for round in 0..64u64 {
+            mem.cpu_read(0, app.offset(round * 64 * 64), 64 * 64, t);
+            t += 10_000;
+        }
+        assert_eq!(mem.stats().dirty_dropped_unexpectedly, 0);
+        // Every dirty TX line was flushed to DRAM exactly once.
+        assert_eq!(mem.stats().dram_writes[TrafficClass::TxEvct], 64);
+    }
+
+    #[test]
+    fn nic_overwrite_drop_is_accounted() {
+        let mut mem = system(InjectionPolicy::Ddio, 2);
+        let rx = rx_region(&mut mem, 64);
+        // CPU dirties an RX block (e.g. in-place NF edit), then the NIC
+        // overwrites the slot: the stale dirty copy is legally dropped.
+        mem.nic_write(rx, 64, 0);
+        mem.cpu_write(0, rx, 64, 10);
+        mem.nic_write(rx, 64, 20);
+        assert_eq!(mem.stats().dirty_dropped_by_nic_overwrite, 1);
+        assert_eq!(mem.stats().dirty_dropped_unexpectedly, 0);
+    }
+
+    #[test]
+    fn strict_partition_ablation_confines_cpu_spills() {
+        let mut cfg = MachineConfig::tiny_for_tests().with_ddio_ways(2);
+        cfg.ddio_strict_partition = true;
+        let mut mem = MemorySystem::new(cfg);
+        let rx = mem.address_map_mut().alloc(64 * 64 * 32, RegionKind::Rx { core: 0 });
+        // Deliver packets, read them (migrating copies into L2), and churn
+        // them out: with the strict partition, CPU spills of RX lines can
+        // never enter the 2 DDIO ways.
+        let mut t = 0;
+        for i in 0..32u64 {
+            let a = rx.offset(i * 64 * 64);
+            mem.nic_write(a, 64 * 64, t);
+            mem.cpu_read(0, a, 64 * 64, t + 100);
+            t += 10_000;
+        }
+        assert_eq!(mem.stats().dirty_dropped_unexpectedly, 0);
+    }
+
+    #[test]
+    fn victim_ablation_migrates_on_read_hit() {
+        let mut cfg = MachineConfig::tiny_for_tests();
+        cfg.llc_read_hit_retains = false;
+        let mut mem = MemorySystem::new(cfg);
+        let rx = mem.address_map_mut().alloc(64, RegionKind::Rx { core: 0 });
+        mem.nic_write(rx, 64, 0);
+        mem.cpu_read(0, rx, 64, 10);
+        assert!(
+            mem.llc().peek(rx.block()).is_none(),
+            "victim ablation: read hit migrates the line out of the LLC"
+        );
+        assert!(mem.l2_of(0).peek(rx.block()).is_some_and(|l| l.dirty));
+    }
+
+    #[test]
+    fn next_line_prefetch_warms_the_following_block() {
+        let mut cfg = MachineConfig::tiny_for_tests();
+        cfg.l2_next_line_prefetch = true;
+        let mut mem = MemorySystem::new(cfg);
+        let a = mem.address_map_mut().alloc(128, RegionKind::App);
+        let first = mem.cpu_read(0, a, 64, 0);
+        assert_eq!(first.dram_fetches, 1);
+        // The prefetcher fetched the next block in the background ...
+        assert!(mem.l2_of(0).peek(a.block().step(1)).is_some());
+        // ... so the demand read of it is now a cheap private hit.
+        let second = mem.cpu_read(0, a.offset(64), 64, 1_000);
+        assert_eq!(second.dram_fetches, 0);
+        assert!(second.latency <= mem.config().l2.latency + mem.config().l1.latency);
+        // Bandwidth was spent: two DRAM reads for one demand fetch.
+        assert_eq!(mem.stats().dram_reads.total(), 2);
+    }
+
+    #[test]
+    fn srrip_llc_policy_is_applied() {
+        let mut cfg = MachineConfig::tiny_for_tests();
+        cfg.llc_replacement = crate::cache::ReplacementPolicy::Srrip;
+        let mem = MemorySystem::new(cfg);
+        assert_eq!(
+            mem.llc().policy(),
+            crate::cache::ReplacementPolicy::Srrip
+        );
+    }
+
+    #[test]
+    fn dma_zero_range_lands_in_memory_and_invalidates_caches() {
+        let mut mem = system(InjectionPolicy::Ddio, 2);
+        let page = mem.address_map_mut().alloc(256, RegionKind::Other);
+        // Dirty the page through the caches first.
+        mem.cpu_write(0, page, 256, 0);
+        assert!(mem.resident_anywhere(page.block()));
+        let written = mem.dma_zero_range(page, 256, 100);
+        assert_eq!(written, 4);
+        for i in 0..4 {
+            assert!(!mem.resident_anywhere(page.block().step(i)));
+        }
+        // The zeros reached DRAM: a sweep now has nothing to suppress.
+        assert_eq!(mem.sweep_block(page.block()), 0);
+        assert_eq!(mem.stats().dram_writes[TrafficClass::OtherEvct], 4);
+    }
+
+    #[test]
+    fn trace_records_full_buffer_lifecycle() {
+        let mut mem = system(InjectionPolicy::Ddio, 2);
+        mem.enable_trace(64);
+        let rx = rx_region(&mut mem, 128);
+        mem.nic_write(rx, 128, 10);
+        mem.cpu_read(0, rx, 128, 20);
+        mem.sweep_range(rx, 128, 30);
+        let trace = mem.take_trace().expect("tracing enabled");
+        use crate::trace::TraceKind as K;
+        assert_eq!(trace.events_of(K::NicWrite).len(), 1);
+        assert_eq!(trace.events_of(K::CpuRead).len(), 1);
+        assert_eq!(trace.events_of(K::Sweep).len(), 1);
+        let sweep = trace.events_of(K::Sweep)[0];
+        assert_eq!(sweep.blocks, 2);
+        assert_eq!(sweep.at, 30);
+        // Tracing is off after take_trace.
+        assert!(mem.trace().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "core id out of range")]
+    fn rejects_bad_core() {
+        let mut mem = system(InjectionPolicy::Ddio, 2);
+        mem.cpu_read(99, Addr(0), 64, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "DDIO ways must be within LLC associativity")]
+    fn rejects_bad_ddio_ways() {
+        let cfg = MachineConfig::tiny_for_tests().with_ddio_ways(99);
+        MemorySystem::new(cfg);
+    }
+}

@@ -1,0 +1,218 @@
+//! Memory-event tracing.
+//!
+//! A bounded, allocation-free event recorder for debugging simulations and
+//! for exporting access streams to external tools. Tracing is opt-in per
+//! [`MemorySystem`](crate::hierarchy::MemorySystem) (see
+//! [`enable_trace`](crate::hierarchy::MemorySystem::enable_trace)); when
+//! disabled, the hot path pays a single branch.
+//!
+//! The recorder is a ring: the last `capacity` events survive, with a count
+//! of how many were recorded in total. `to_csv` exports the retained window.
+
+use crate::addr::BlockAddr;
+use crate::Cycle;
+
+/// The kinds of memory-system events recorded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceKind {
+    /// CPU demand read (per range access).
+    CpuRead,
+    /// CPU store (per range access).
+    CpuWrite,
+    /// NIC packet injection.
+    NicWrite,
+    /// NIC transmit-path read.
+    NicRead,
+    /// `clsweep`/relinquish invalidation.
+    Sweep,
+    /// Dirty eviction written back to DRAM.
+    Writeback,
+}
+
+impl TraceKind {
+    /// Short label used by the CSV export.
+    pub fn label(self) -> &'static str {
+        match self {
+            TraceKind::CpuRead => "cpu_rd",
+            TraceKind::CpuWrite => "cpu_wr",
+            TraceKind::NicWrite => "nic_wr",
+            TraceKind::NicRead => "nic_rd",
+            TraceKind::Sweep => "sweep",
+            TraceKind::Writeback => "wb",
+        }
+    }
+}
+
+/// One recorded event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Simulated time of the event.
+    pub at: Cycle,
+    /// Event kind.
+    pub kind: TraceKind,
+    /// Requesting core (`u16::MAX` for NIC-originated events).
+    pub core: u16,
+    /// First block touched.
+    pub block: BlockAddr,
+    /// Blocks touched by the operation.
+    pub blocks: u32,
+    /// Latency observed by the requester (0 for posted operations).
+    pub latency: Cycle,
+}
+
+/// Bounded ring of trace events.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    ring: Vec<TraceEvent>,
+    head: usize,
+    recorded: u64,
+}
+
+impl Trace {
+    /// Creates a trace retaining the last `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "trace capacity must be positive");
+        Self {
+            ring: Vec::with_capacity(capacity),
+            head: 0,
+            recorded: 0,
+        }
+    }
+
+    /// Records one event.
+    pub fn record(&mut self, event: TraceEvent) {
+        if self.ring.len() < self.ring.capacity() {
+            self.ring.push(event);
+        } else {
+            self.ring[self.head] = event;
+            self.head = (self.head + 1) % self.ring.len();
+        }
+        self.recorded += 1;
+    }
+
+    /// Total events recorded (including those that fell out of the window).
+    pub fn recorded(&self) -> u64 {
+        self.recorded
+    }
+
+    /// Retained events, oldest first.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        let mut out = Vec::with_capacity(self.ring.len());
+        out.extend_from_slice(&self.ring[self.head..]);
+        out.extend_from_slice(&self.ring[..self.head]);
+        out
+    }
+
+    /// Retained events of one kind, oldest first.
+    pub fn events_of(&self, kind: TraceKind) -> Vec<TraceEvent> {
+        self.events().into_iter().filter(|e| e.kind == kind).collect()
+    }
+
+    /// CSV export of the retained window.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("cycle,kind,core,block,blocks,latency\n");
+        for e in self.events() {
+            out.push_str(&format!(
+                "{},{},{},{},{},{}\n",
+                e.at,
+                e.kind.label(),
+                e.core,
+                e.block.0,
+                e.blocks,
+                e.latency
+            ));
+        }
+        out
+    }
+
+    /// Discards all retained events (the total count is kept).
+    pub fn clear(&mut self) {
+        self.ring.clear();
+        self.head = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(at: Cycle) -> TraceEvent {
+        TraceEvent {
+            at,
+            kind: TraceKind::CpuRead,
+            core: 0,
+            block: BlockAddr(at),
+            blocks: 1,
+            latency: 4,
+        }
+    }
+
+    #[test]
+    fn records_in_order_until_capacity() {
+        let mut t = Trace::new(4);
+        for i in 0..3 {
+            t.record(ev(i));
+        }
+        let events = t.events();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].at, 0);
+        assert_eq!(events[2].at, 2);
+        assert_eq!(t.recorded(), 3);
+    }
+
+    #[test]
+    fn ring_keeps_most_recent_window() {
+        let mut t = Trace::new(4);
+        for i in 0..10 {
+            t.record(ev(i));
+        }
+        let events = t.events();
+        assert_eq!(events.len(), 4);
+        assert_eq!(
+            events.iter().map(|e| e.at).collect::<Vec<_>>(),
+            vec![6, 7, 8, 9]
+        );
+        assert_eq!(t.recorded(), 10);
+    }
+
+    #[test]
+    fn filter_by_kind() {
+        let mut t = Trace::new(8);
+        t.record(ev(1));
+        t.record(TraceEvent {
+            kind: TraceKind::Sweep,
+            ..ev(2)
+        });
+        assert_eq!(t.events_of(TraceKind::Sweep).len(), 1);
+        assert_eq!(t.events_of(TraceKind::CpuRead).len(), 1);
+        assert_eq!(t.events_of(TraceKind::NicWrite).len(), 0);
+    }
+
+    #[test]
+    fn csv_export_shape() {
+        let mut t = Trace::new(2);
+        t.record(ev(5));
+        let csv = t.to_csv();
+        assert!(csv.starts_with("cycle,kind,core,block,blocks,latency\n"));
+        assert!(csv.contains("5,cpu_rd,0,5,1,4"));
+    }
+
+    #[test]
+    fn clear_keeps_total() {
+        let mut t = Trace::new(2);
+        t.record(ev(1));
+        t.clear();
+        assert!(t.events().is_empty());
+        assert_eq!(t.recorded(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        Trace::new(0);
+    }
+}

@@ -1,0 +1,136 @@
+//! Property-based tests for the workload models: zipf sampler statistics,
+//! KVS trace well-formedness, and spiky-decorator behaviour.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use sweeper_core::workload::{CoreEnv, Op, TxAction, Workload};
+use sweeper_nic::packet::{Packet, PacketId};
+use sweeper_sim::addr::{Addr, RegionKind};
+use sweeper_sim::engine::SimRng;
+use sweeper_sim::hierarchy::{MachineConfig, MemorySystem};
+use sweeper_workloads::dist::Zipf;
+use sweeper_workloads::kvs::{KvsConfig, MicaKvs};
+use sweeper_workloads::l3fwd::{L3Forwarder, L3fwdConfig};
+
+proptest! {
+    /// Zipf samples always land in [1, n], for arbitrary n and exponent.
+    #[test]
+    fn zipf_range_is_respected(n in 1u64..500_000, s in 0.01f64..2.5, seed in any::<u64>()) {
+        prop_assume!((s - 1.0).abs() > 1e-3);
+        let zipf = Zipf::new(n, s);
+        let mut rng = SimRng::seeded(seed);
+        for _ in 0..200 {
+            let k = zipf.sample(&mut rng);
+            prop_assert!((1..=n).contains(&k));
+        }
+    }
+
+    /// Higher exponents concentrate more mass on rank 1.
+    #[test]
+    fn zipf_skew_is_monotone_in_exponent(seed in any::<u64>()) {
+        let count_rank1 = |s: f64| {
+            let zipf = Zipf::new(1000, s);
+            let mut rng = SimRng::seeded(seed);
+            (0..20_000).filter(|_| zipf.sample(&mut rng) == 1).count()
+        };
+        let mild = count_rank1(0.4);
+        let heavy = count_rank1(1.4);
+        prop_assert!(heavy > mild, "heavy {heavy} vs mild {mild}");
+    }
+
+    /// KVS traces are well-formed for any packet size ≥ the header: at
+    /// least one RX-buffer read, all ops target allocated regions, and the
+    /// reply action is always a `Reply`.
+    #[test]
+    fn kvs_traces_are_well_formed(pkt_bytes in 64u64..2048, seed in any::<u64>()) {
+        let mut mem = MemorySystem::new(MachineConfig::tiny_for_tests());
+        let mut kvs = MicaKvs::new(KvsConfig::small_for_tests());
+        kvs.setup(&mut mem);
+        let rx = mem.address_map_mut().alloc(2048, RegionKind::Rx { core: 0 });
+        mem.nic_write(rx, pkt_bytes, 0);
+        let pkt = Packet {
+            id: PacketId(0),
+            core: 0,
+            bytes: pkt_bytes,
+            arrival: 0,
+            delivered: 0,
+            addr: rx,
+        };
+        let mut rng = SimRng::seeded(seed);
+        for _ in 0..20 {
+            let mut env = CoreEnv::new(0, &mut rng);
+            let action = kvs.handle_packet(&pkt, &mut env);
+            let reply_ok = matches!(action, TxAction::Reply { bytes } if bytes >= 64);
+            prop_assert!(reply_ok, "unexpected action {:?}", action);
+            let ops = env.into_ops();
+            prop_assert!(!ops.is_empty());
+            let mut saw_rx_read = false;
+            for op in &ops {
+                match op {
+                    Op::Read { addr, len } | Op::Write { addr, len } => {
+                        prop_assert!(*len > 0);
+                        if *addr == rx {
+                            saw_rx_read = true;
+                            prop_assert!(*len <= pkt_bytes);
+                        } else {
+                            // Bucket/log accesses classify as App.
+                            prop_assert_eq!(
+                                mem.address_map().classify(*addr),
+                                RegionKind::App
+                            );
+                        }
+                    }
+                    Op::Compute { cycles } => prop_assert!(*cycles > 0),
+                    _ => {}
+                }
+            }
+            prop_assert!(saw_rx_read, "every request parses the RX buffer");
+        }
+    }
+
+    /// The forwarder reads the whole packet and exactly two table blocks,
+    /// for any flow sequence.
+    #[test]
+    fn l3fwd_traces_read_packet_and_two_rules(seeds in vec(any::<u64>(), 1..20)) {
+        let mut mem = MemorySystem::new(MachineConfig::tiny_for_tests());
+        let mut fwd = L3Forwarder::new(L3fwdConfig::l1_resident());
+        fwd.setup(&mut mem);
+        let rx = mem.address_map_mut().alloc(1024, RegionKind::Rx { core: 0 });
+        let pkt = Packet {
+            id: PacketId(0),
+            core: 0,
+            bytes: 1024,
+            arrival: 0,
+            delivered: 0,
+            addr: rx,
+        };
+        for seed in seeds {
+            let mut rng = SimRng::seeded(seed);
+            let mut env = CoreEnv::new(0, &mut rng);
+            let action = fwd.handle_packet(&pkt, &mut env);
+            prop_assert_eq!(action, TxAction::Reply { bytes: 1024 });
+            let ops = env.into_ops();
+            let packet_reads = ops.iter().filter(|op| matches!(op, Op::Read { addr, len } if *addr == rx && *len == 1024)).count();
+            let rule_reads = ops.iter().filter(|op| matches!(op, Op::Read { addr, len } if *addr != rx && *len == 64)).count();
+            prop_assert_eq!(packet_reads, 1);
+            prop_assert_eq!(rule_reads, 2);
+        }
+    }
+
+    /// Address-map region kinds carried through the packet path never change
+    /// classification mid-buffer.
+    #[test]
+    fn rx_buffers_classify_uniformly(entries in 1usize..32, entry_bytes in 64u64..2048) {
+        let mut map = sweeper_sim::addr::AddressMap::new();
+        let ring = sweeper_nic::ring::RxRing::new(&mut map, 3, entries, entry_bytes);
+        for i in 0..entries {
+            let base = ring.slot_addr(i);
+            prop_assert_eq!(map.classify(base), RegionKind::Rx { core: 3 });
+            prop_assert_eq!(
+                map.classify(Addr(base.0 + entry_bytes - 1)),
+                RegionKind::Rx { core: 3 }
+            );
+        }
+    }
+}

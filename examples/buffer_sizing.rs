@@ -1,0 +1,74 @@
+//! Buffer provisioning under bursty load (§VI-F).
+//!
+//! Shallow rings keep network buffers LLC-resident but drop packets under
+//! service-time spikes; deep rings absorb bursts but — without Sweeper —
+//! leak consumed buffers and lose throughput. This example runs the spiky
+//! KVS microbenchmark (random [1,100] µs processing delays) across ring
+//! depths and prints the no-drop peak plus drop rates at a fixed load.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example buffer_sizing
+//! ```
+
+use sweeper::core::experiment::{Experiment, ExperimentConfig, PeakCriteria};
+use sweeper::core::server::{RunOptions, SweeperMode};
+use sweeper::workloads::kvs::{KvsConfig, MicaKvs, HEADER_BYTES};
+use sweeper::workloads::spiky::{SpikeConfig, Spiky};
+
+fn experiment(buffers: usize, sweeper: SweeperMode) -> Experiment {
+    let cfg = ExperimentConfig::paper_default()
+        .ddio_ways(2)
+        .sweeper(sweeper)
+        .rx_buffers_per_core(buffers)
+        .packet_bytes(1024 + HEADER_BYTES)
+        .run_options(RunOptions {
+            warmup_requests: (buffers as u64 * 24 * 12) / 10,
+            measure_requests: 20_000,
+            max_cycles: 120_000_000_000,
+            min_warmup_cycles: 0,
+            min_measure_cycles: 0,
+        });
+    Experiment::new(cfg, || {
+        Spiky::new(
+            MicaKvs::new(KvsConfig::paper_default()),
+            SpikeConfig::paper_default(),
+        )
+    })
+}
+
+fn main() {
+    println!("Spiky KVS (1% of requests stall 1-100 µs), 2-way DDIO\n");
+    println!("-- no-drop peak vs ring depth --");
+    println!("{:>8}  {:>10}  {:>10}", "RX/core", "baseline", "+Sweeper");
+    for buffers in [128usize, 512, 2048] {
+        let base = experiment(buffers, SweeperMode::Disabled)
+            .find_peak(PeakCriteria::no_drops())
+            .throughput_mrps();
+        let swept = experiment(buffers, SweeperMode::Enabled)
+            .find_peak(PeakCriteria::no_drops())
+            .throughput_mrps();
+        println!("{buffers:>8}  {base:>7.1} M  {swept:>7.1} M");
+    }
+
+    println!("\n-- drop rate at 20 Mrps offered --");
+    for (label, buffers, sweeper) in [
+        ("128 buffers          ", 128usize, SweeperMode::Disabled),
+        ("2048 buffers         ", 2048, SweeperMode::Disabled),
+        ("2048 buffers + Sweep ", 2048, SweeperMode::Enabled),
+    ] {
+        let report = experiment(buffers, sweeper).run_at_rate(20.0e6);
+        println!(
+            "{label}: {:.3}% dropped, {:.1} Mrps goodput",
+            report.drop_rate() * 100.0,
+            report.throughput_mrps()
+        );
+    }
+
+    println!(
+        "\nShallow rings drop under spikes; deep rings without Sweeper leak.\n\
+         Deep rings *with* Sweeper give burst resilience at full throughput —\n\
+         no expert buffer sizing required."
+    );
+}

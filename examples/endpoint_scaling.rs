@@ -1,0 +1,71 @@
+//! Per-endpoint (VIA/RDMA) buffer provisioning — the §II-C bloat amplifier.
+//!
+//! RDMA-style stacks allocate dedicated receive rings per communicating
+//! endpoint, not just per core. With even a modest ring depth, the
+//! *aggregate* footprint scales with connection count and quickly exceeds
+//! the LLC — the paper's "can be in the range of 100 MB" scenario. This
+//! example fixes the per-ring depth (128 entries) and scales the endpoint
+//! count per core, showing the baseline's leak rate grow with footprint
+//! while Sweeper stays flat.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example endpoint_scaling
+//! ```
+
+use sweeper::core::experiment::{Experiment, ExperimentConfig};
+use sweeper::core::server::{RunOptions, RunReport, SweeperMode};
+use sweeper::sim::stats::TrafficClass;
+use sweeper::workloads::kvs::{KvsConfig, MicaKvs, HEADER_BYTES};
+
+fn run(endpoints: usize, sweeper: SweeperMode) -> (RunReport, f64) {
+    let cfg = ExperimentConfig::paper_default()
+        .ddio_ways(2)
+        .sweeper(sweeper)
+        .endpoints_per_core(endpoints)
+        .rx_buffers_per_core(128) // modest per-connection ring
+        .packet_bytes(1024 + HEADER_BYTES)
+        .run_options(RunOptions {
+            warmup_requests: (24 * endpoints as u64 * 128 * 12) / 10,
+            measure_requests: 20_000,
+            max_cycles: 240_000_000_000,
+            min_warmup_cycles: 0,
+            min_measure_cycles: 0,
+        });
+    let footprint_mb = cfg.rx_footprint_bytes() as f64 / (1024.0 * 1024.0);
+    let report = Experiment::new(cfg, || MicaKvs::new(KvsConfig::paper_default()))
+        .run_at_rate(18.0e6);
+    (report, footprint_mb)
+}
+
+fn main() {
+    println!("KVS at 18 Mrps, 2-way DDIO, 128-entry rings per endpoint\n");
+    println!(
+        "{:>9}  {:>9}  {:>22}  {:>22}",
+        "endpoints", "footprint", "baseline", "+ Sweeper"
+    );
+    println!(
+        "{:>9}  {:>9}  {:>9} {:>12}  {:>9} {:>12}",
+        "per core", "", "GB/s", "RxEvct/req", "GB/s", "RxEvct/req"
+    );
+    for endpoints in [1usize, 4, 8, 16, 32] {
+        let (base, mb) = run(endpoints, SweeperMode::Disabled);
+        let (swept, _) = run(endpoints, SweeperMode::Enabled);
+        let leaks = |r: &RunReport| {
+            r.class_counts()[TrafficClass::RxEvct] as f64 / r.completed.max(1) as f64
+        };
+        println!(
+            "{endpoints:>9}  {mb:>6.0} MB  {:>9.1} {:>12.2}  {:>9.1} {:>12.2}",
+            base.memory_bandwidth_gbps(),
+            leaks(&base),
+            swept.memory_bandwidth_gbps(),
+            leaks(&swept),
+        );
+    }
+    println!(
+        "\nThe baseline's leak rate tracks the aggregate footprint (connection\n\
+         count), even though each ring is only 128 entries deep. Sweeper is\n\
+         footprint-insensitive: dead buffers never reach memory."
+    );
+}

@@ -1,0 +1,54 @@
+//! KVS capacity planning: find each configuration's peak sustainable
+//! throughput under the paper's SLO rule.
+//!
+//! Sweeps the buffer-provisioning axis (the tradeoff Sweeper breaks, §VI-A):
+//! deeper rings are more resilient to bursts but, without Sweeper, leak more
+//! consumed buffers and lose peak throughput. With Sweeper, peak throughput
+//! becomes insensitive to provisioning — deploy deep buffers for free.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example kvs_server
+//! ```
+
+use sweeper::core::experiment::{Experiment, ExperimentConfig, PeakCriteria};
+use sweeper::core::server::{RunOptions, SweeperMode};
+use sweeper::workloads::kvs::{KvsConfig, MicaKvs, HEADER_BYTES};
+
+fn peak_for(buffers: usize, sweeper: SweeperMode) -> f64 {
+    let cfg = ExperimentConfig::paper_default()
+        .ddio_ways(2)
+        .sweeper(sweeper)
+        .rx_buffers_per_core(buffers)
+        .packet_bytes(1024 + HEADER_BYTES)
+        .run_options(RunOptions {
+            warmup_requests: (buffers as u64 * 24 * 12) / 10,
+            measure_requests: 20_000,
+            max_cycles: 120_000_000_000,
+            min_warmup_cycles: 0,
+            min_measure_cycles: 0,
+        });
+    let exp = Experiment::new(cfg, || MicaKvs::new(KvsConfig::paper_default()));
+    exp.find_peak(PeakCriteria::default()).throughput_mrps()
+}
+
+fn main() {
+    println!("Peak KVS throughput under the p99 ≤ 100×service SLO (2-way DDIO):\n");
+    println!("{:>10}  {:>12}  {:>12}  {:>7}", "RX/core", "baseline", "+ Sweeper", "boost");
+    for buffers in [512usize, 1024, 2048] {
+        let base = peak_for(buffers, SweeperMode::Disabled);
+        let swept = peak_for(buffers, SweeperMode::Enabled);
+        println!(
+            "{:>10}  {:>9.1} Mrps  {:>9.1} Mrps  {:>6.2}x",
+            buffers,
+            base,
+            swept,
+            swept / base
+        );
+    }
+    println!(
+        "\nDeep buffers cost the baseline its throughput; with Sweeper the\n\
+         peak barely moves — the shallow-vs-deep provisioning tradeoff is gone."
+    );
+}

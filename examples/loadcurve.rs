@@ -1,0 +1,68 @@
+//! Load–latency "hockey-stick" curves: baseline DDIO vs Sweeper.
+//!
+//! Sweeps the offered load geometrically and prints throughput, p99
+//! latency, memory bandwidth, and leak counts at every point — the full
+//! curve behind the paper's single peak-throughput numbers, with the knee
+//! detector marking where queueing starts for each configuration.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example loadcurve
+//! ```
+
+use sweeper::core::experiment::{Experiment, ExperimentConfig};
+use sweeper::core::loadsweep::{LoadSweep, RateGrid};
+use sweeper::core::server::{RunOptions, SweeperMode};
+use sweeper::workloads::kvs::{KvsConfig, MicaKvs, HEADER_BYTES};
+
+fn sweep(sweeper: SweeperMode) -> LoadSweep {
+    let cfg = ExperimentConfig::paper_default()
+        .ddio_ways(2)
+        .sweeper(sweeper)
+        .rx_buffers_per_core(1024)
+        .packet_bytes(1024 + HEADER_BYTES)
+        .run_options(RunOptions {
+            warmup_requests: 30_000,
+            measure_requests: 15_000,
+            max_cycles: 240_000_000_000,
+            min_warmup_cycles: 0,
+            min_measure_cycles: 0,
+        });
+    let exp = Experiment::new(cfg, || MicaKvs::new(KvsConfig::paper_default()));
+    LoadSweep::run(&exp, &RateGrid::geometric(4.0e6, 80.0e6, 9), true)
+}
+
+fn print_sweep(label: &str, sweep: &LoadSweep) {
+    println!("-- {label} --");
+    println!(
+        "{:>9}  {:>8}  {:>10}  {:>8}  {:>10}",
+        "offered", "achieved", "p99 (cyc)", "GB/s", "leaks/req"
+    );
+    for p in sweep.points() {
+        println!(
+            "{:>6.1} M   {:>6.2} M  {:>10}  {:>8.1}  {:>10.2}",
+            p.offered_rate / 1e6,
+            p.throughput_mrps,
+            p.latency_p99,
+            p.memory_gbps,
+            p.rx_leaks_per_request
+        );
+    }
+    match sweep.knee() {
+        Some(knee) => println!("knee (p99 doubled): ~{:.1} Mrps\n", knee.offered_rate / 1e6),
+        None => println!("no knee within the sweep\n"),
+    }
+}
+
+fn main() {
+    println!("MICA KVS, 1KB items, 1024 RX buffers/core, 2-way DDIO\n");
+    let base = sweep(SweeperMode::Disabled);
+    print_sweep("baseline DDIO", &base);
+    let swept = sweep(SweeperMode::Enabled);
+    print_sweep("DDIO + Sweeper", &swept);
+    println!(
+        "Sweeper moves the knee to a much higher offered load: the memory\n\
+         bandwidth freed from consumed-buffer writebacks delays queueing."
+    );
+}

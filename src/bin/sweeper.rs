@@ -1,0 +1,331 @@
+//! `sweeper` — command-line front end to the simulator.
+//!
+//! Compose a machine configuration, a workload, and a load pattern from
+//! flags, without writing a driver program:
+//!
+//! ```text
+//! sweeper run   --rate 20 --workload kvs --ddio 2 --sweeper
+//! sweeper peak  --workload kvs --buffers 2048 --channels 3
+//! sweeper sweep --lo 5 --hi 60 --points 8 --workload l3fwd
+//! sweeper info
+//! ```
+//!
+//! All rates are in Mrps. Run `sweeper help` for the full flag list.
+
+use std::process::ExitCode;
+
+use sweeper::core::experiment::{Experiment, ExperimentConfig, PeakCriteria};
+use sweeper::core::loadsweep::{LoadSweep, RateGrid};
+use sweeper::core::report::{render, ReportStyle};
+use sweeper::core::scenario::{Scenario, ScenarioWorkload};
+use sweeper::core::server::{RunOptions, RunReport, SweeperMode};
+use sweeper::sim::hierarchy::{InjectionPolicy, MachineConfig};
+use sweeper::workloads::kvs::{KvsConfig, MicaKvs, HEADER_BYTES};
+use sweeper::workloads::l3fwd::{L3Forwarder, L3fwdConfig};
+use sweeper::workloads::synthetic::{Synthetic, SyntheticConfig};
+
+const HELP: &str = "\
+sweeper — DDIO network-data-leak simulator (MICRO'22 'Sweeper' reproduction)
+
+USAGE:
+    sweeper <COMMAND> [FLAGS]
+
+COMMANDS:
+    run      simulate one operating point and print its report
+    peak     search the peak sustainable throughput under the p99 SLO
+    sweep    run a load-latency sweep and print CSV
+    info     print the simulated machine (Table I)
+    help     show this text
+
+FLAGS (all optional):
+    --workload <kvs|l3fwd|synthetic>   workload model        [kvs]
+    --policy <dma|ddio|ideal>          injection policy      [ddio]
+    --ddio <1..12>                     DDIO LLC ways         [2]
+    --sweeper                          enable Sweeper (relinquish on RX)
+    --tx-sweep                         enable NIC-driven TX sweeping (§V-D)
+    --buffers <N>                      RX ring entries/core  [1024]
+    --endpoints <N>                    endpoints per core    [1]
+    --packet <BYTES>                   packet size           [1088]
+    --channels <3..8>                  DDR4 channels         [4]
+    --cores <N>                        active cores          [24]
+    --seed <N>                         RNG seed              [0x5eed]
+    --requests <N>                     measured requests     [20000]
+    --rate <MRPS>                      offered load (run)    [20]
+    --lo/--hi <MRPS>, --points <N>     sweep grid            [2..60, 8]
+    --zero-copy                        l3fwd transmits in place
+    --scenario <FILE>                  load a key=value scenario file first;
+                                       later flags override its values
+";
+
+#[derive(Debug, Clone)]
+struct Cli {
+    command: String,
+    workload: String,
+    policy: InjectionPolicy,
+    ddio: u32,
+    sweeper: bool,
+    tx_sweep: bool,
+    buffers: usize,
+    endpoints: usize,
+    packet: u64,
+    channels: usize,
+    cores: u16,
+    seed: u64,
+    requests: u64,
+    rate: f64,
+    lo: f64,
+    hi: f64,
+    points: usize,
+    zero_copy: bool,
+    scenario: Option<String>,
+}
+
+impl Default for Cli {
+    fn default() -> Self {
+        Self {
+            command: "help".into(),
+            workload: "kvs".into(),
+            policy: InjectionPolicy::Ddio,
+            ddio: 2,
+            sweeper: false,
+            tx_sweep: false,
+            buffers: 1024,
+            endpoints: 1,
+            packet: 1024 + HEADER_BYTES,
+            channels: 4,
+            cores: 24,
+            seed: 0x5eed,
+            requests: 20_000,
+            rate: 20.0,
+            lo: 2.0,
+            hi: 60.0,
+            points: 8,
+            zero_copy: false,
+            scenario: None,
+        }
+    }
+}
+
+fn apply_scenario(cli: &mut Cli, path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let s = Scenario::parse(&text).map_err(|e| e.to_string())?;
+    cli.workload = match s.workload {
+        ScenarioWorkload::Kvs => "kvs".into(),
+        ScenarioWorkload::L3fwd => "l3fwd".into(),
+        ScenarioWorkload::Synthetic => "synthetic".into(),
+    };
+    cli.policy = s.policy;
+    cli.ddio = s.ddio_ways;
+    cli.sweeper = s.sweeper.is_enabled();
+    cli.tx_sweep = s.tx_sweep;
+    cli.buffers = s.buffers;
+    cli.endpoints = s.endpoints;
+    cli.packet = s.packet;
+    cli.channels = s.channels;
+    cli.cores = s.cores;
+    cli.seed = s.seed;
+    cli.rate = s.rate_mrps;
+    Ok(())
+}
+
+fn parse(args: &[String]) -> Result<Cli, String> {
+    let mut cli = Cli::default();
+    // Scenario files apply first so explicit flags override them.
+    let mut pos = args.iter().position(|a| a == "--scenario");
+    if let Some(i) = pos.take() {
+        let path = args
+            .get(i + 1)
+            .ok_or_else(|| "flag --scenario needs a value".to_string())?;
+        apply_scenario(&mut cli, path)?;
+    }
+    let mut it = args.iter();
+    cli.command = it.next().cloned().unwrap_or_else(|| "help".into());
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("flag {name} needs a value"))
+        };
+        match flag.as_str() {
+            "--workload" => cli.workload = value(flag)?,
+            "--policy" => {
+                cli.policy = match value(flag)?.as_str() {
+                    "dma" => InjectionPolicy::Dma,
+                    "ddio" => InjectionPolicy::Ddio,
+                    "ideal" => InjectionPolicy::Ideal,
+                    other => return Err(format!("unknown policy '{other}'")),
+                }
+            }
+            "--ddio" => cli.ddio = num(&value(flag)?)?,
+            "--sweeper" => cli.sweeper = true,
+            "--tx-sweep" => cli.tx_sweep = true,
+            "--buffers" => cli.buffers = num(&value(flag)?)?,
+            "--endpoints" => cli.endpoints = num(&value(flag)?)?,
+            "--packet" => cli.packet = num(&value(flag)?)?,
+            "--channels" => cli.channels = num(&value(flag)?)?,
+            "--cores" => cli.cores = num(&value(flag)?)?,
+            "--seed" => cli.seed = num(&value(flag)?)?,
+            "--requests" => cli.requests = num(&value(flag)?)?,
+            "--rate" => cli.rate = fnum(&value(flag)?)?,
+            "--lo" => cli.lo = fnum(&value(flag)?)?,
+            "--hi" => cli.hi = fnum(&value(flag)?)?,
+            "--points" => cli.points = num(&value(flag)?)?,
+            "--zero-copy" => cli.zero_copy = true,
+            "--scenario" => cli.scenario = Some(value(flag)?),
+            other => return Err(format!("unknown flag '{other}' (see `sweeper help`)")),
+        }
+    }
+    Ok(cli)
+}
+
+fn num<T: std::str::FromStr>(s: &str) -> Result<T, String> {
+    s.parse().map_err(|_| format!("invalid number '{s}'"))
+}
+
+fn fnum(s: &str) -> Result<f64, String> {
+    s.parse().map_err(|_| format!("invalid number '{s}'"))
+}
+
+fn build_experiment(cli: &Cli) -> Result<Experiment, String> {
+    let ring_wrap = (cli.cores as u64 * cli.endpoints as u64 * cli.buffers as u64 * 12) / 10;
+    let cfg = ExperimentConfig::paper_default()
+        .injection(cli.policy)
+        .ddio_ways(cli.ddio)
+        .sweeper(if cli.sweeper {
+            SweeperMode::Enabled
+        } else {
+            SweeperMode::Disabled
+        })
+        .tx_sweep(cli.tx_sweep)
+        .rx_buffers_per_core(cli.buffers)
+        .endpoints_per_core(cli.endpoints)
+        .packet_bytes(cli.packet)
+        .channels(cli.channels)
+        .active_cores(cli.cores)
+        .seed(cli.seed)
+        .run_options(RunOptions {
+            warmup_requests: ring_wrap.max(10_000),
+            measure_requests: cli.requests,
+            max_cycles: 600_000_000_000,
+            min_warmup_cycles: 0,
+            min_measure_cycles: 0,
+        });
+    let exp = match cli.workload.as_str() {
+        "kvs" => {
+            let item = cli.packet.saturating_sub(HEADER_BYTES).max(64);
+            let kvs = KvsConfig::paper_default().with_item_bytes(item);
+            Experiment::new(cfg, move || MicaKvs::new(kvs))
+        }
+        "l3fwd" => {
+            let mut l3 = L3fwdConfig::l2_resident();
+            if cli.zero_copy {
+                l3 = l3.with_zero_copy();
+            }
+            Experiment::new(cfg, move || L3Forwarder::new(l3))
+        }
+        "synthetic" => Experiment::new(cfg, || Synthetic::new(SyntheticConfig::balanced())),
+        other => return Err(format!("unknown workload '{other}'")),
+    };
+    Ok(exp)
+}
+
+fn print_report(report: &RunReport) {
+    print!("{}", render(report, ReportStyle::default()));
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match parse(&args) {
+        Ok(cli) => cli,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match cli.command.as_str() {
+        "help" | "--help" | "-h" => {
+            print!("{HELP}");
+            ExitCode::SUCCESS
+        }
+        "info" => {
+            let m = MachineConfig::paper_default();
+            println!("cores      : {} @ 3.2 GHz", m.cores);
+            println!(
+                "L1d        : {} KB {}-way, {} cycles",
+                m.l1.size_bytes / 1024,
+                m.l1.ways,
+                m.l1.latency
+            );
+            println!(
+                "L2         : {:.2} MB {}-way, {} cycles",
+                m.l2.size_bytes as f64 / 1048576.0,
+                m.l2.ways,
+                m.l2.latency
+            );
+            println!(
+                "LLC        : {} MB {}-way, {} cycles (+{} NoC), DDIO {} ways",
+                m.llc.size_bytes / 1048576,
+                m.llc.ways,
+                m.llc.latency,
+                m.noc_latency,
+                m.ddio_ways
+            );
+            println!(
+                "memory     : DDR4-3200, {} channels x {} ranks x {} banks ({:.1} GB/s peak)",
+                m.dram.channels,
+                m.dram.ranks_per_channel,
+                m.dram.banks_per_rank,
+                m.dram.peak_bandwidth_gbps()
+            );
+            ExitCode::SUCCESS
+        }
+        "run" => match build_experiment(&cli) {
+            Ok(exp) => {
+                let report = exp.run_at_rate(cli.rate * 1e6);
+                println!("== {} @ {:.1} Mrps offered ==", cli.workload, cli.rate);
+                print_report(&report);
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        "peak" => match build_experiment(&cli) {
+            Ok(exp) => {
+                let peak = exp.find_peak(PeakCriteria::default());
+                println!(
+                    "peak: {:.2} Mrps (SLO = {} cycles = 100 x {:.0}-cycle unloaded service)",
+                    peak.throughput_mrps(),
+                    peak.slo_cycles,
+                    peak.unloaded_service_cycles
+                );
+                print_report(&peak.report);
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        "sweep" => match build_experiment(&cli) {
+            Ok(exp) => {
+                let grid = RateGrid::geometric(cli.lo * 1e6, cli.hi * 1e6, cli.points);
+                let sweep = LoadSweep::run(&exp, &grid, true);
+                print!("{}", sweep.to_csv());
+                if let Some(knee) = sweep.knee() {
+                    eprintln!("knee at ~{:.1} Mrps offered", knee.offered_rate / 1e6);
+                }
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        other => {
+            eprintln!("error: unknown command '{other}' (see `sweeper help`)");
+            ExitCode::FAILURE
+        }
+    }
+}
