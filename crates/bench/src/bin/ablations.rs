@@ -1,139 +1,7 @@
-//! Ablation study for the design decisions DESIGN.md calls out.
+//! Runs the DESIGN.md ablation study. See `sweeper_bench::figs::ablations`.
 //!
-//! Runs the KVS scenario (1 KB items, 1024 buffers/core, 2-way DDIO, fixed
-//! 18 Mrps load) while toggling one modelling decision at a time, and prints
-//! how the paper's key observables move:
-//!
-//! 1. **LLC read-hit retention** vs strict-victim migration — retention is
-//!    what makes consumed buffers accumulate (dirty) in the DDIO ways.
-//! 2. **DDIO insertion mask** vs strict way partition — the insertion-mask
-//!    semantics allow §VI-C's "runaway buffers".
-//! 3. **DRAM realism knobs** (bus turnaround, activation overhead, refresh)
-//!    — these set the effective bandwidth ceiling that throttles the leaky
-//!    baseline.
-
-use sweeper_bench::Table;
-use sweeper_core::experiment::{Experiment, ExperimentConfig};
-use sweeper_core::server::{RunOptions, RunReport, SweeperMode};
-use sweeper_sim::cache::ReplacementPolicy;
-use sweeper_sim::hierarchy::MachineConfig;
-use sweeper_sim::stats::TrafficClass;
-use sweeper_workloads::kvs::{KvsConfig, MicaKvs, HEADER_BYTES};
-
-fn run(mutate: impl Fn(&mut MachineConfig), sweeper: SweeperMode) -> RunReport {
-    let mut cfg = ExperimentConfig::paper_default()
-        .ddio_ways(2)
-        .sweeper(sweeper)
-        .rx_buffers_per_core(1024)
-        .packet_bytes(1024 + HEADER_BYTES)
-        .run_options(RunOptions {
-            warmup_requests: 30_000,
-            measure_requests: 15_000,
-            max_cycles: 120_000_000_000,
-            min_warmup_cycles: 0,
-            min_measure_cycles: 0,
-        });
-    let mut machine = *cfg.machine();
-    mutate(&mut machine);
-    cfg = cfg.with_machine(machine);
-    Experiment::new(cfg, || MicaKvs::new(KvsConfig::paper_default())).run_at_rate(18.0e6)
-}
-
-fn row(name: &str, report: &RunReport) -> Vec<String> {
-    let counts = report.class_counts();
-    let per = |c: TrafficClass| counts[c] as f64 / report.completed as f64;
-    vec![
-        name.to_string(),
-        format!("{:.1}", report.throughput_mrps()),
-        format!("{:.1}", report.memory_bandwidth_gbps()),
-        format!("{:.2}", per(TrafficClass::RxEvct)),
-        format!("{:.2}", per(TrafficClass::CpuRxRd)),
-        format!("{:.0}", report.dram_latency.mean()),
-    ]
-}
+//! Flags: `--jobs N`, `--profile full|fast|smoke`.
 
 fn main() {
-    let headers = &["variant", "Mrps", "GB/s", "RxEvct/rq", "CpuRxRd/rq", "dram mean"];
-
-    let mut t1 = Table::new(
-        "Ablation 1 — LLC read-hit policy (baseline DDIO 2-way, 18 Mrps)",
-        headers,
-    );
-    t1.row(row("retain (default)", &run(|_| {}, SweeperMode::Disabled)));
-    t1.row(row(
-        "strict victim",
-        &run(|m| m.llc_read_hit_retains = false, SweeperMode::Disabled),
-    ));
-    t1.emit("ablation_llc_policy");
-    println!(
-        "Retention keeps consumed buffers dirty in the DDIO ways (high RxEvct);\n\
-         strict-victim migration shifts the churn into the private caches.\n"
-    );
-
-    let mut t2 = Table::new(
-        "Ablation 2 — DDIO way semantics (baseline DDIO 2-way, 18 Mrps)",
-        headers,
-    );
-    t2.row(row("insertion mask (default)", &run(|_| {}, SweeperMode::Disabled)));
-    t2.row(row(
-        "strict partition",
-        &run(|m| m.ddio_strict_partition = true, SweeperMode::Disabled),
-    ));
-    t2.emit("ablation_ddio_partition");
-    println!(
-        "The insertion mask lets CPU spills of network lines 'run away' into\n\
-         non-DDIO ways (§VI-C); a strict partition confines them.\n"
-    );
-
-    let mut t3 = Table::new(
-        "Ablation 3 — DRAM realism (baseline vs Sweeper at 18 Mrps)",
-        headers,
-    );
-    for (name, f) in [
-        (
-            "realistic (default)",
-            Box::new(|_: &mut MachineConfig| {}) as Box<dyn Fn(&mut MachineConfig)>,
-        ),
-        (
-            "no turnaround",
-            Box::new(|m: &mut MachineConfig| m.dram.t_turnaround = 0),
-        ),
-        (
-            "no activation overhead",
-            Box::new(|m: &mut MachineConfig| m.dram.t_act_bus = 0),
-        ),
-        (
-            "no refresh",
-            Box::new(|m: &mut MachineConfig| m.dram.t_refi = 0),
-        ),
-    ] {
-        t3.row(row(&format!("{name}, base"), &run(&f, SweeperMode::Disabled)));
-        t3.row(row(&format!("{name}, sweep"), &run(&f, SweeperMode::Enabled)));
-    }
-    t3.emit("ablation_dram");
-    println!(
-        "The DRAM realism knobs set the effective bandwidth ceiling; removing\n\
-         them narrows the latency gap between the leaky baseline and Sweeper\n\
-         but does not change who wins.\n"
-    );
-
-    let mut t4 = Table::new(
-        "Ablation 4 — LLC replacement & prefetch (baseline DDIO 2-way, 18 Mrps)",
-        headers,
-    );
-    t4.row(row("LRU (default)", &run(|_| {}, SweeperMode::Disabled)));
-    t4.row(row(
-        "SRRIP LLC",
-        &run(|m| m.llc_replacement = ReplacementPolicy::Srrip, SweeperMode::Disabled),
-    ));
-    t4.row(row(
-        "L2 next-line prefetch",
-        &run(|m| m.l2_next_line_prefetch = true, SweeperMode::Disabled),
-    ));
-    t4.emit("ablation_llc_policy2");
-    println!(
-        "SRRIP's scan resistance changes how long dead buffers survive in\n\
-         the LLC; the prefetcher trades extra bandwidth for lower demand\n\
-         latency. Neither alters Sweeper's conclusion."
-    );
+    sweeper_bench::figure_main("ablations");
 }

@@ -1,27 +1,27 @@
 //! Runs the complete evaluation: every table and figure of the paper, in
-//! order. Expect ~15–30 minutes at full run lengths (set `SWEEPER_FAST=1`
-//! for a quick pass).
+//! order, through the shared figure registry. Expect ~15–30 minutes at full
+//! run lengths on one core; use `--jobs N` (or `SWEEPER_JOBS`) to fan the
+//! sweep points out and `--profile fast` (or `SWEEPER_FAST=1`) for a quick
+//! pass.
 
 use std::time::Instant;
 
+use sweeper_bench::{run_figure, FigContext};
+
 fn main() {
+    let ctx = match FigContext::from_env_and_args(std::env::args().skip(1)) {
+        Ok(ctx) => ctx,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
     let t0 = Instant::now();
-    let stages: [(&str, fn()); 9] = [
-        ("Table I", sweeper_bench::figs::table1::run),
-        ("Figure 1", sweeper_bench::figs::fig1::run),
-        ("Figure 2", sweeper_bench::figs::fig2::run),
-        ("Figure 5", sweeper_bench::figs::fig5::run),
-        ("Figure 6", sweeper_bench::figs::fig6::run),
-        ("Figure 7", sweeper_bench::figs::fig7::run),
-        ("Figure 8", sweeper_bench::figs::fig8::run),
-        ("Figure 9", sweeper_bench::figs::fig9::run),
-        ("Figure 10", sweeper_bench::figs::fig10::run),
-    ];
-    for (name, f) in stages {
-        let t = Instant::now();
+    let names = std::iter::once("table1")
+        .chain(sweeper_bench::figs::registry().iter().map(|f| f.name()));
+    for name in names {
         eprintln!("\n##### {name} #####");
-        f();
-        eprintln!("##### {name} done in {:.1?} #####", t.elapsed());
+        run_figure(name, &ctx).expect("registry names are valid");
     }
     eprintln!("\nComplete evaluation finished in {:.1?}", t0.elapsed());
 }

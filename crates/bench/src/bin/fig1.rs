@@ -1,5 +1,7 @@
 //! Regenerates the paper's fig1. See `sweeper_bench::figs::fig1`.
+//!
+//! Flags: `--jobs N`, `--profile full|fast|smoke`.
 
 fn main() {
-    sweeper_bench::figs::fig1::run();
+    sweeper_bench::figure_main("fig1");
 }

@@ -1,5 +1,7 @@
 //! Regenerates the paper's fig10. See `sweeper_bench::figs::fig10`.
+//!
+//! Flags: `--jobs N`, `--profile full|fast|smoke`.
 
 fn main() {
-    sweeper_bench::figs::fig10::run();
+    sweeper_bench::figure_main("fig10");
 }

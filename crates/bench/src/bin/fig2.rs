@@ -1,5 +1,7 @@
 //! Regenerates the paper's fig2. See `sweeper_bench::figs::fig2`.
+//!
+//! Flags: `--jobs N`, `--profile full|fast|smoke`.
 
 fn main() {
-    sweeper_bench::figs::fig2::run();
+    sweeper_bench::figure_main("fig2");
 }

@@ -1,5 +1,7 @@
 //! Regenerates the paper's fig5. See `sweeper_bench::figs::fig5`.
+//!
+//! Flags: `--jobs N`, `--profile full|fast|smoke`.
 
 fn main() {
-    sweeper_bench::figs::fig5::run();
+    sweeper_bench::figure_main("fig5");
 }

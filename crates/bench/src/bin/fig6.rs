@@ -1,5 +1,7 @@
 //! Regenerates the paper's fig6. See `sweeper_bench::figs::fig6`.
+//!
+//! Flags: `--jobs N`, `--profile full|fast|smoke`.
 
 fn main() {
-    sweeper_bench::figs::fig6::run();
+    sweeper_bench::figure_main("fig6");
 }

@@ -1,5 +1,7 @@
 //! Regenerates the paper's fig7. See `sweeper_bench::figs::fig7`.
+//!
+//! Flags: `--jobs N`, `--profile full|fast|smoke`.
 
 fn main() {
-    sweeper_bench::figs::fig7::run();
+    sweeper_bench::figure_main("fig7");
 }

@@ -1,5 +1,7 @@
 //! Regenerates the paper's fig8. See `sweeper_bench::figs::fig8`.
+//!
+//! Flags: `--jobs N`, `--profile full|fast|smoke`.
 
 fn main() {
-    sweeper_bench::figs::fig8::run();
+    sweeper_bench::figure_main("fig8");
 }

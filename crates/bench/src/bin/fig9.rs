@@ -1,5 +1,7 @@
 //! Regenerates the paper's fig9. See `sweeper_bench::figs::fig9`.
+//!
+//! Flags: `--jobs N`, `--profile full|fast|smoke`.
 
 fn main() {
-    sweeper_bench::figs::fig9::run();
+    sweeper_bench::figure_main("fig9");
 }

@@ -1,5 +1,5 @@
-//! Regenerates the paper's table1. See `sweeper_bench::figs::table1`.
+//! Regenerates the paper's Table I. See `sweeper_bench::figs::table1`.
 
 fn main() {
-    sweeper_bench::figs::table1::run();
+    sweeper_bench::figure_main("table1");
 }

@@ -1,0 +1,176 @@
+//! Ablation study for the design decisions DESIGN.md calls out.
+//!
+//! Runs the KVS scenario (1 KB items, 1024 buffers/core, 2-way DDIO, fixed
+//! 18 Mrps load) while toggling one modelling decision at a time, and prints
+//! how the paper's key observables move:
+//!
+//! 1. **LLC read-hit retention** vs strict-victim migration — retention is
+//!    what makes consumed buffers accumulate (dirty) in the DDIO ways.
+//! 2. **DDIO insertion mask** vs strict way partition — the insertion-mask
+//!    semantics allow §VI-C's "runaway buffers".
+//! 3. **DRAM realism knobs** (bus turnaround, activation overhead, refresh)
+//!    — these set the effective bandwidth ceiling that throttles the leaky
+//!    baseline.
+//! 4. **LLC replacement & prefetch** — SRRIP scan resistance and an L2
+//!    next-line prefetcher.
+
+use sweeper_core::experiment::{Experiment, ExperimentConfig};
+use sweeper_core::fleet::{ExperimentPoint, PointOutcome};
+use sweeper_core::profile::RunProfile;
+use sweeper_core::server::{RunOptions, RunReport, SweeperMode};
+use sweeper_sim::cache::ReplacementPolicy;
+use sweeper_sim::hierarchy::MachineConfig;
+use sweeper_sim::stats::TrafficClass;
+use sweeper_workloads::kvs::{KvsConfig, MicaKvs, HEADER_BYTES};
+
+use super::Figure;
+use crate::Table;
+
+/// Fixed offered load of every ablation run (packets/second).
+const RATE: f64 = 18.0e6;
+
+type Mutator = fn(&mut MachineConfig);
+
+/// One ablation run: which table it belongs to, its row name, the single
+/// modelling toggle it applies, and the Sweeper mode.
+struct Variant {
+    table: usize,
+    name: &'static str,
+    mutate: Mutator,
+    sweeper: SweeperMode,
+}
+
+fn variants() -> Vec<Variant> {
+    fn v(table: usize, name: &'static str, mutate: Mutator, sweeper: SweeperMode) -> Variant {
+        Variant {
+            table,
+            name,
+            mutate,
+            sweeper,
+        }
+    }
+    use SweeperMode::{Disabled, Enabled};
+    vec![
+        v(1, "retain (default)", |_| {}, Disabled),
+        v(1, "strict victim", |m| m.llc_read_hit_retains = false, Disabled),
+        v(2, "insertion mask (default)", |_| {}, Disabled),
+        v(2, "strict partition", |m| m.ddio_strict_partition = true, Disabled),
+        v(3, "realistic (default), base", |_| {}, Disabled),
+        v(3, "realistic (default), sweep", |_| {}, Enabled),
+        v(3, "no turnaround, base", |m| m.dram.t_turnaround = 0, Disabled),
+        v(3, "no turnaround, sweep", |m| m.dram.t_turnaround = 0, Enabled),
+        v(3, "no activation overhead, base", |m| m.dram.t_act_bus = 0, Disabled),
+        v(3, "no activation overhead, sweep", |m| m.dram.t_act_bus = 0, Enabled),
+        v(3, "no refresh, base", |m| m.dram.t_refi = 0, Disabled),
+        v(3, "no refresh, sweep", |m| m.dram.t_refi = 0, Enabled),
+        v(4, "LRU (default)", |_| {}, Disabled),
+        v(4, "SRRIP LLC", |m| m.llc_replacement = ReplacementPolicy::Srrip, Disabled),
+        v(4, "L2 next-line prefetch", |m| m.l2_next_line_prefetch = true, Disabled),
+    ]
+}
+
+fn ablation_experiment(profile: RunProfile, variant: &Variant) -> Experiment {
+    let cfg = ExperimentConfig::paper_default()
+        .ddio_ways(2)
+        .sweeper(variant.sweeper)
+        .rx_buffers_per_core(1024)
+        .packet_bytes(1024 + HEADER_BYTES)
+        .run_options(RunOptions {
+            warmup_requests: profile.scale(30_000, 2_000),
+            measure_requests: profile.scale(15_000, 1_500),
+            max_cycles: 120_000_000_000,
+            min_warmup_cycles: 0,
+            min_measure_cycles: 0,
+        });
+    let mut machine = *cfg.machine();
+    (variant.mutate)(&mut machine);
+    cfg.with_machine(machine)
+        .experiment(|| MicaKvs::new(KvsConfig::paper_default()))
+}
+
+fn row(name: &str, report: &RunReport) -> Vec<String> {
+    let counts = report.class_counts();
+    let per = |c: TrafficClass| counts[c] as f64 / report.completed as f64;
+    vec![
+        name.to_string(),
+        format!("{:.1}", report.throughput_mrps()),
+        format!("{:.1}", report.memory_bandwidth_gbps()),
+        format!("{:.2}", per(TrafficClass::RxEvct)),
+        format!("{:.2}", per(TrafficClass::CpuRxRd)),
+        format!("{:.0}", report.dram_latency.mean()),
+    ]
+}
+
+/// The DESIGN.md ablation study as a registry figure.
+pub struct Ablations;
+
+impl Figure for Ablations {
+    fn name(&self) -> &'static str {
+        "ablations"
+    }
+
+    fn description(&self) -> &'static str {
+        "Modelling-decision ablations at fixed 18 Mrps load (DESIGN.md)"
+    }
+
+    fn points(&self, profile: RunProfile) -> Vec<ExperimentPoint> {
+        variants()
+            .iter()
+            .map(|variant| {
+                ExperimentPoint::at_rate(
+                    format!("t{} {}", variant.table, variant.name),
+                    ablation_experiment(profile, variant),
+                    RATE,
+                )
+            })
+            .collect()
+    }
+
+    fn render(&self, _profile: RunProfile, outcomes: &[PointOutcome]) {
+        let headers = &["variant", "Mrps", "GB/s", "RxEvct/rq", "CpuRxRd/rq", "dram mean"];
+        let mut tables = [
+            Table::new(
+                "Ablation 1 — LLC read-hit policy (baseline DDIO 2-way, 18 Mrps)",
+                headers,
+            ),
+            Table::new(
+                "Ablation 2 — DDIO way semantics (baseline DDIO 2-way, 18 Mrps)",
+                headers,
+            ),
+            Table::new(
+                "Ablation 3 — DRAM realism (baseline vs Sweeper at 18 Mrps)",
+                headers,
+            ),
+            Table::new(
+                "Ablation 4 — LLC replacement & prefetch (baseline DDIO 2-way, 18 Mrps)",
+                headers,
+            ),
+        ];
+        for (variant, outcome) in variants().iter().zip(outcomes) {
+            tables[variant.table - 1].row(row(variant.name, &outcome.report));
+        }
+
+        tables[0].emit("ablation_llc_policy");
+        println!(
+            "Retention keeps consumed buffers dirty in the DDIO ways (high RxEvct);\n\
+             strict-victim migration shifts the churn into the private caches.\n"
+        );
+        tables[1].emit("ablation_ddio_partition");
+        println!(
+            "The insertion mask lets CPU spills of network lines 'run away' into\n\
+             non-DDIO ways (§VI-C); a strict partition confines them.\n"
+        );
+        tables[2].emit("ablation_dram");
+        println!(
+            "The DRAM realism knobs set the effective bandwidth ceiling; removing\n\
+             them narrows the latency gap between the leaky baseline and Sweeper\n\
+             but does not change who wins.\n"
+        );
+        tables[3].emit("ablation_llc_policy2");
+        println!(
+            "SRRIP's scan resistance changes how long dead buffers survive in\n\
+             the LLC; the prefetcher trades extra bandwidth for lower demand\n\
+             latency. Neither alters Sweeper's conclusion."
+        );
+    }
+}

@@ -8,15 +8,17 @@
 //! * (b) memory bandwidth utilization at each configuration's peak (GB/s),
 //! * (c) the per-request memory-access breakdown.
 
-use sweeper_core::experiment::PeakCriteria;
+use sweeper_core::fleet::{ExperimentPoint, PointOutcome};
+use sweeper_core::profile::RunProfile;
 
+use super::Figure;
 use crate::{f1, format_breakdown, kvs_experiment, SystemPoint, Table};
 
 /// RX ring depths swept on the x-axis.
 pub const BUFFERS: [usize; 3] = [512, 1024, 2048];
 
 /// The baseline configurations of §III.
-pub fn points() -> Vec<SystemPoint> {
+pub fn configs() -> Vec<SystemPoint> {
     vec![
         SystemPoint::dma(),
         SystemPoint::ddio(2),
@@ -26,45 +28,65 @@ pub fn points() -> Vec<SystemPoint> {
     ]
 }
 
-/// Runs the experiment and emits the three sub-figures.
-pub fn run() {
-    let mut fig_a = Table::new(
-        "Figure 1a — KVS peak throughput (Mrps), 1KB items",
-        &["config", "rx=512", "rx=1024", "rx=2048"],
-    );
-    let mut fig_b = Table::new(
-        "Figure 1b — memory bandwidth at peak (GB/s)",
-        &["config", "rx=512", "rx=1024", "rx=2048"],
-    );
-    let mut fig_c = Table::new(
-        "Figure 1c — memory accesses per KVS request",
-        &["rx/core", "config", "breakdown"],
-    );
+/// The §IV-A KVS baseline sweep.
+pub struct Fig1;
 
-    for point in points() {
-        let mut tputs = vec![point.label()];
-        let mut bws = vec![point.label()];
-        for bufs in BUFFERS {
-            let exp = kvs_experiment(point, 1024, bufs, 4);
-            let peak = exp.find_peak(PeakCriteria::default());
-            tputs.push(f1(peak.throughput_mrps()));
-            bws.push(f1(peak.report.memory_bandwidth_gbps()));
-            fig_c.row(vec![
-                bufs.to_string(),
-                point.label(),
-                format_breakdown(&peak.report),
-            ]);
-            eprintln!(
-                "[fig1] {} rx={bufs}: {:.1} Mrps",
-                point.label(),
-                peak.throughput_mrps()
-            );
-        }
-        fig_a.row(tputs);
-        fig_b.row(bws);
+impl Figure for Fig1 {
+    fn name(&self) -> &'static str {
+        "fig1"
     }
 
-    fig_a.emit("fig1a");
-    fig_b.emit("fig1b");
-    fig_c.emit("fig1c");
+    fn description(&self) -> &'static str {
+        "KVS baselines: peak throughput, bandwidth, access breakdown (§IV-A)"
+    }
+
+    fn points(&self, profile: RunProfile) -> Vec<ExperimentPoint> {
+        let mut out = Vec::new();
+        for point in configs() {
+            for bufs in BUFFERS {
+                out.push(ExperimentPoint::peak(
+                    format!("{} rx={bufs}", point.label()),
+                    kvs_experiment(profile, point, 1024, bufs, 4),
+                ));
+            }
+        }
+        out
+    }
+
+    fn render(&self, _profile: RunProfile, outcomes: &[PointOutcome]) {
+        let mut fig_a = Table::new(
+            "Figure 1a — KVS peak throughput (Mrps), 1KB items",
+            &["config", "rx=512", "rx=1024", "rx=2048"],
+        );
+        let mut fig_b = Table::new(
+            "Figure 1b — memory bandwidth at peak (GB/s)",
+            &["config", "rx=512", "rx=1024", "rx=2048"],
+        );
+        let mut fig_c = Table::new(
+            "Figure 1c — memory accesses per KVS request",
+            &["rx/core", "config", "breakdown"],
+        );
+
+        let mut rows = outcomes.chunks_exact(BUFFERS.len());
+        for point in configs() {
+            let row = rows.next().expect("one outcome row per config");
+            let mut tputs = vec![point.label()];
+            let mut bws = vec![point.label()];
+            for (bufs, peak) in BUFFERS.iter().zip(row) {
+                tputs.push(f1(peak.throughput_mrps()));
+                bws.push(f1(peak.report.memory_bandwidth_gbps()));
+                fig_c.row(vec![
+                    bufs.to_string(),
+                    point.label(),
+                    format_breakdown(&peak.report),
+                ]);
+            }
+            fig_a.row(tputs);
+            fig_b.row(bws);
+        }
+
+        fig_a.emit("fig1a");
+        fig_b.emit("fig1b");
+        fig_c.emit("fig1c");
+    }
 }

@@ -6,13 +6,17 @@
 //! *D* unconsumed packets (batching-of-degree-D emulation); D ∈
 //! {50, 250, 450}; DDIO {2, 6, 12} ways and Ideal-DDIO.
 
+use sweeper_core::fleet::{ExperimentPoint, PointOutcome};
+use sweeper_core::profile::RunProfile;
+
+use super::Figure;
 use crate::{f1, format_breakdown, l3fwd_experiment, SystemPoint, Table};
 
 /// Queued-packets depths swept on the x-axis.
 pub const DEPTHS: [usize; 3] = [50, 250, 450];
 
 /// The §IV-B configurations.
-pub fn points() -> Vec<SystemPoint> {
+pub fn configs() -> Vec<SystemPoint> {
     vec![
         SystemPoint::ddio(2),
         SystemPoint::ddio(6),
@@ -21,45 +25,66 @@ pub fn points() -> Vec<SystemPoint> {
     ]
 }
 
-/// Runs the experiment and emits the three sub-figures.
-pub fn run() {
-    let mut fig_a = Table::new(
-        "Figure 2a — L3fwd throughput (Mrps) under queued packets D",
-        &["config", "D=50", "D=250", "D=450"],
-    );
-    let mut fig_b = Table::new(
-        "Figure 2b — memory bandwidth (GB/s)",
-        &["config", "D=50", "D=250", "D=450"],
-    );
-    let mut fig_c = Table::new(
-        "Figure 2c — memory accesses per packet processed",
-        &["D", "config", "breakdown"],
-    );
+/// The §IV-B keep-queued L3fwd sweep.
+pub struct Fig2;
 
-    for point in points() {
-        let mut tputs = vec![point.label()];
-        let mut bws = vec![point.label()];
-        for depth in DEPTHS {
-            let exp = l3fwd_experiment(point, 2048);
-            let report = exp.run_keep_queued(depth);
-            tputs.push(f1(report.throughput_mrps()));
-            bws.push(f1(report.memory_bandwidth_gbps()));
-            fig_c.row(vec![
-                depth.to_string(),
-                point.label(),
-                format_breakdown(&report),
-            ]);
-            eprintln!(
-                "[fig2] {} D={depth}: {:.1} Mrps",
-                point.label(),
-                report.throughput_mrps()
-            );
-        }
-        fig_a.row(tputs);
-        fig_b.row(bws);
+impl Figure for Fig2 {
+    fn name(&self) -> &'static str {
+        "fig2"
     }
 
-    fig_a.emit("fig2a");
-    fig_b.emit("fig2b");
-    fig_c.emit("fig2c");
+    fn description(&self) -> &'static str {
+        "L3fwd under queued packets: throughput, bandwidth, breakdown (§IV-B)"
+    }
+
+    fn points(&self, profile: RunProfile) -> Vec<ExperimentPoint> {
+        let mut out = Vec::new();
+        for point in configs() {
+            for depth in DEPTHS {
+                out.push(ExperimentPoint::keep_queued(
+                    format!("{} D={depth}", point.label()),
+                    l3fwd_experiment(profile, point, 2048),
+                    depth,
+                ));
+            }
+        }
+        out
+    }
+
+    fn render(&self, _profile: RunProfile, outcomes: &[PointOutcome]) {
+        let mut fig_a = Table::new(
+            "Figure 2a — L3fwd throughput (Mrps) under queued packets D",
+            &["config", "D=50", "D=250", "D=450"],
+        );
+        let mut fig_b = Table::new(
+            "Figure 2b — memory bandwidth (GB/s)",
+            &["config", "D=50", "D=250", "D=450"],
+        );
+        let mut fig_c = Table::new(
+            "Figure 2c — memory accesses per packet processed",
+            &["D", "config", "breakdown"],
+        );
+
+        let mut rows = outcomes.chunks_exact(DEPTHS.len());
+        for point in configs() {
+            let row = rows.next().expect("one outcome row per config");
+            let mut tputs = vec![point.label()];
+            let mut bws = vec![point.label()];
+            for (depth, outcome) in DEPTHS.iter().zip(row) {
+                tputs.push(f1(outcome.throughput_mrps()));
+                bws.push(f1(outcome.report.memory_bandwidth_gbps()));
+                fig_c.row(vec![
+                    depth.to_string(),
+                    point.label(),
+                    format_breakdown(&outcome.report),
+                ]);
+            }
+            fig_a.row(tputs);
+            fig_b.row(bws);
+        }
+
+        fig_a.emit("fig2a");
+        fig_b.emit("fig2b");
+        fig_c.emit("fig2c");
+    }
 }

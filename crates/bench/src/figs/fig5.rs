@@ -7,8 +7,10 @@
 //! eliminates consumed-buffer evictions, matching Ideal-DDIO's access count
 //! and boosting throughput by up to ~2.6× over plain DDIO.
 
-use sweeper_core::experiment::PeakCriteria;
+use sweeper_core::fleet::{ExperimentPoint, PointOutcome};
+use sweeper_core::profile::RunProfile;
 
+use super::Figure;
 use crate::{f1, format_breakdown, kvs_experiment, SystemPoint, Table};
 
 /// RX ring depths swept.
@@ -18,7 +20,7 @@ pub const BUFFERS: [usize; 3] = [512, 1024, 2048];
 pub const ITEM_BYTES: [u64; 2] = [512, 1024];
 
 /// The §VI-A configurations.
-pub fn points() -> Vec<SystemPoint> {
+pub fn configs() -> Vec<SystemPoint> {
     let mut out = Vec::new();
     for ways in [2, 4, 6, 12] {
         out.push(SystemPoint::ddio(ways));
@@ -28,47 +30,66 @@ pub fn points() -> Vec<SystemPoint> {
     out
 }
 
-/// Runs the experiment and emits the three sub-figures.
-pub fn run() {
-    for item in ITEM_BYTES {
-        let title_a = format!(
-            "Figure 5a — KVS peak throughput (Mrps), packet size {item}B"
-        );
-        let title_b = format!(
-            "Figure 5b — memory bandwidth at peak (GB/s), packet size {item}B"
-        );
-        let title_c = format!(
-            "Figure 5c — memory accesses per KVS request, packet size {item}B"
-        );
-        let mut fig_a = Table::new(&title_a, &["config", "rx=512", "rx=1024", "rx=2048"]);
-        let mut fig_b = Table::new(&title_b, &["config", "rx=512", "rx=1024", "rx=2048"]);
-        let mut fig_c = Table::new(&title_c, &["rx/core", "config", "breakdown"]);
+/// The §VI-A headline ways × Sweeper sweep.
+pub struct Fig5;
 
-        for point in points() {
-            let mut tputs = vec![point.label()];
-            let mut bws = vec![point.label()];
-            for bufs in BUFFERS {
-                let exp = kvs_experiment(point, item, bufs, 4);
-                let peak = exp.find_peak(PeakCriteria::default());
-                tputs.push(f1(peak.throughput_mrps()));
-                bws.push(f1(peak.report.memory_bandwidth_gbps()));
-                fig_c.row(vec![
-                    bufs.to_string(),
-                    point.label(),
-                    format_breakdown(&peak.report),
-                ]);
-                eprintln!(
-                    "[fig5] item={item}B {} rx={bufs}: {:.1} Mrps",
-                    point.label(),
-                    peak.throughput_mrps()
-                );
+impl Figure for Fig5 {
+    fn name(&self) -> &'static str {
+        "fig5"
+    }
+
+    fn description(&self) -> &'static str {
+        "DDIO ways × Sweeper on KVS: the headline throughput result (§VI-A)"
+    }
+
+    fn points(&self, profile: RunProfile) -> Vec<ExperimentPoint> {
+        let mut out = Vec::new();
+        for item in ITEM_BYTES {
+            for point in configs() {
+                for bufs in BUFFERS {
+                    out.push(ExperimentPoint::peak(
+                        format!("{item}B {} rx={bufs}", point.label()),
+                        kvs_experiment(profile, point, item, bufs, 4),
+                    ));
+                }
             }
-            fig_a.row(tputs);
-            fig_b.row(bws);
         }
+        out
+    }
 
-        fig_a.emit(&format!("fig5a_{item}"));
-        fig_b.emit(&format!("fig5b_{item}"));
-        fig_c.emit(&format!("fig5c_{item}"));
+    fn render(&self, _profile: RunProfile, outcomes: &[PointOutcome]) {
+        let mut rows = outcomes.chunks_exact(BUFFERS.len());
+        for item in ITEM_BYTES {
+            let title_a =
+                format!("Figure 5a — KVS peak throughput (Mrps), packet size {item}B");
+            let title_b =
+                format!("Figure 5b — memory bandwidth at peak (GB/s), packet size {item}B");
+            let title_c =
+                format!("Figure 5c — memory accesses per KVS request, packet size {item}B");
+            let mut fig_a = Table::new(&title_a, &["config", "rx=512", "rx=1024", "rx=2048"]);
+            let mut fig_b = Table::new(&title_b, &["config", "rx=512", "rx=1024", "rx=2048"]);
+            let mut fig_c = Table::new(&title_c, &["rx/core", "config", "breakdown"]);
+
+            for point in configs() {
+                let row = rows.next().expect("one outcome row per config");
+                let mut tputs = vec![point.label()];
+                let mut bws = vec![point.label()];
+                for (bufs, peak) in BUFFERS.iter().zip(row) {
+                    tputs.push(f1(peak.throughput_mrps()));
+                    bws.push(f1(peak.report.memory_bandwidth_gbps()));
+                    fig_c.row(vec![
+                        bufs.to_string(),
+                        point.label(),
+                        format_breakdown(&peak.report),
+                    ]);
+                }
+                fig_a.row(tputs);
+                fig_b.row(bws);
+            }
+
+            fig_a.emit(&format!("fig5a_{item}"));
+            fig_b.emit(&format!("fig5b_{item}"));
+            fig_c.emit(&format!("fig5c_{item}"));
+        }
     }
 }

@@ -5,14 +5,21 @@
 //! with and without Sweeper, each at its own peak load. Right: the same
 //! four configurations compared iso-throughput, at the 2-way DDIO
 //! baseline's achieved peak.
+//!
+//! This is the registry's one *two-stage* figure: the right-hand rate is
+//! data-dependent (the baseline's discovered peak), so [`Figure::run`] is
+//! overridden to run the peak stage, derive the iso rate, run the iso
+//! stage, and render the concatenated outcomes.
 
-use sweeper_core::experiment::PeakCriteria;
+use sweeper_core::fleet::{ExperimentPoint, PointOutcome};
+use sweeper_core::profile::RunProfile;
 use sweeper_core::server::RunReport;
 
-use crate::{f1, kvs_experiment, SystemPoint, Table};
+use super::Figure;
+use crate::{f1, kvs_experiment, FigContext, SystemPoint, Table};
 
 /// The four §VI-B configurations.
-pub fn points() -> Vec<SystemPoint> {
+pub fn configs() -> Vec<SystemPoint> {
     vec![
         SystemPoint::ddio(2),
         SystemPoint::ddio_sweeper(2),
@@ -47,46 +54,86 @@ fn emit_cdf(name: &str, label: &str, report: &RunReport) {
     let _ = std::fs::write(dir.join(format!("{name}_{safe}.csv")), csv);
 }
 
-/// Runs the experiment and emits both CDF comparisons.
-pub fn run() {
-    let cols = &["config", "Mrps", "mean", "p50", "p90", "p99", "max"];
-    let mut left = Table::new(
-        "Figure 6 (left) — DRAM access latency at each config's peak load (cycles)",
-        cols,
-    );
-    let mut right = Table::new(
-        "Figure 6 (right) — iso-throughput DRAM access latency (cycles)",
-        cols,
-    );
+/// The §VI-B latency-CDF study.
+pub struct Fig6;
 
-    // Left: each configuration at its own peak.
-    let mut baseline_rate = None;
-    for point in points() {
-        let exp = kvs_experiment(point, 1024, 1024, 4);
-        let peak = exp.find_peak(PeakCriteria::default());
-        if point == SystemPoint::ddio(2) {
-            baseline_rate = Some(peak.rate);
-        }
-        left.row(latency_row(&point.label(), &peak.report));
-        emit_cdf("fig6_peak", &point.label(), &peak.report);
-        eprintln!(
-            "[fig6] {} peak {:.1} Mrps, dram mean {:.0}",
-            point.label(),
-            peak.throughput_mrps(),
-            peak.report.dram_latency.mean()
+impl Fig6 {
+    fn iso_points(profile: RunProfile, rate: f64) -> Vec<ExperimentPoint> {
+        configs()
+            .into_iter()
+            .map(|point| {
+                ExperimentPoint::at_rate(
+                    format!("{} iso", point.label()),
+                    kvs_experiment(profile, point, 1024, 1024, 4),
+                    rate,
+                )
+            })
+            .collect()
+    }
+}
+
+impl Figure for Fig6 {
+    fn name(&self) -> &'static str {
+        "fig6"
+    }
+
+    fn description(&self) -> &'static str {
+        "DRAM latency CDFs at peak and iso-throughput load (§VI-B)"
+    }
+
+    /// Stage one only: each configuration at its own peak. The iso-rate
+    /// stage depends on the first outcome's discovered peak and is built
+    /// inside [`Figure::run`].
+    fn points(&self, profile: RunProfile) -> Vec<ExperimentPoint> {
+        configs()
+            .into_iter()
+            .map(|point| {
+                ExperimentPoint::peak(
+                    point.label(),
+                    kvs_experiment(profile, point, 1024, 1024, 4),
+                )
+            })
+            .collect()
+    }
+
+    fn run(&self, ctx: &FigContext) {
+        let mut outcomes = ctx.fleet.run(self.points(ctx.profile));
+        // Iso-throughput stage at the 2-way DDIO baseline's achieved peak.
+        let iso = outcomes[0]
+            .peak_rate
+            .expect("stage one points are peak searches");
+        outcomes.extend(ctx.fleet.run(Self::iso_points(ctx.profile, iso)));
+        self.render(ctx.profile, &outcomes);
+    }
+
+    /// Expects the four peak outcomes first; the four iso-rate outcomes,
+    /// when present, follow.
+    fn render(&self, _profile: RunProfile, outcomes: &[PointOutcome]) {
+        let cols = &["config", "Mrps", "mean", "p50", "p90", "p99", "max"];
+        let mut left = Table::new(
+            "Figure 6 (left) — DRAM access latency at each config's peak load (cycles)",
+            cols,
         );
-    }
+        let mut right = Table::new(
+            "Figure 6 (right) — iso-throughput DRAM access latency (cycles)",
+            cols,
+        );
 
-    // Right: all four at the 2-way baseline's peak rate (iso-throughput).
-    let iso = baseline_rate.expect("baseline searched above");
-    for point in points() {
-        let exp = kvs_experiment(point, 1024, 1024, 4);
-        let report = exp.run_at_rate(iso);
-        right.row(latency_row(&point.label(), &report));
-        emit_cdf("fig6_iso", &point.label(), &report);
-    }
+        let n = configs().len();
+        for (point, peak) in configs().iter().zip(&outcomes[..n]) {
+            left.row(latency_row(&point.label(), &peak.report));
+            emit_cdf("fig6_peak", &point.label(), &peak.report);
+        }
+        left.emit("fig6_left");
 
-    left.emit("fig6_left");
-    println!("(iso-throughput comparison at {:.1} Mrps)", iso / 1e6);
-    right.emit("fig6_right");
+        if outcomes.len() > n {
+            let iso = outcomes[0].peak_rate.expect("peak stage ran first");
+            for (point, outcome) in configs().iter().zip(&outcomes[n..]) {
+                right.row(latency_row(&point.label(), &outcome.report));
+                emit_cdf("fig6_iso", &point.label(), &outcome.report);
+            }
+            println!("(iso-throughput comparison at {:.1} Mrps)", iso / 1e6);
+            right.emit("fig6_right");
+        }
+    }
 }

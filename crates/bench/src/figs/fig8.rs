@@ -5,8 +5,10 @@
 //! 512, 1 KB / 2048), provisioned with 3, 4, and 8 memory channels; DDIO
 //! {2, 6, 12} ways ± Sweeper plus Ideal-DDIO.
 
-use sweeper_core::experiment::PeakCriteria;
+use sweeper_core::fleet::{ExperimentPoint, PointOutcome};
+use sweeper_core::profile::RunProfile;
 
+use super::Figure;
 use crate::{f1, kvs_experiment, SystemPoint, Table};
 
 /// The three workload scenarios `(item_bytes, rx_buffers)`.
@@ -16,7 +18,7 @@ pub const SCENARIOS: [(u64, usize); 3] = [(512, 512), (1024, 512), (1024, 2048)]
 pub const CHANNELS: [usize; 3] = [3, 4, 8];
 
 /// The §VI-D configurations.
-pub fn points() -> Vec<SystemPoint> {
+pub fn configs() -> Vec<SystemPoint> {
     let mut out = Vec::new();
     for ways in [2, 6, 12] {
         out.push(SystemPoint::ddio(ways));
@@ -26,37 +28,57 @@ pub fn points() -> Vec<SystemPoint> {
     out
 }
 
-/// Runs the experiment and emits throughput and bandwidth tables.
-pub fn run() {
-    for (item, bufs) in SCENARIOS {
-        let title_a = format!(
-            "Figure 8a — KVS peak throughput (Mrps), {item}B packets, rx={bufs}"
-        );
-        let title_b = format!(
-            "Figure 8b — memory bandwidth at peak (GB/s), {item}B packets, rx={bufs}"
-        );
-        let mut fig_a = Table::new(&title_a, &["config", "3ch", "4ch", "8ch"]);
-        let mut fig_b = Table::new(&title_b, &["config", "3ch", "4ch", "8ch"]);
+/// The §VI-D memory-bandwidth sensitivity sweep.
+pub struct Fig8;
 
-        for point in points() {
-            let mut tputs = vec![point.label()];
-            let mut bws = vec![point.label()];
-            for channels in CHANNELS {
-                let exp = kvs_experiment(point, item, bufs, channels);
-                let peak = exp.find_peak(PeakCriteria::default());
-                tputs.push(f1(peak.throughput_mrps()));
-                bws.push(f1(peak.report.memory_bandwidth_gbps()));
-                eprintln!(
-                    "[fig8] {item}B/rx={bufs} {} ch={channels}: {:.1} Mrps",
-                    point.label(),
-                    peak.throughput_mrps()
-                );
+impl Figure for Fig8 {
+    fn name(&self) -> &'static str {
+        "fig8"
+    }
+
+    fn description(&self) -> &'static str {
+        "Leaks and Sweeper vs provisioned memory bandwidth (§VI-D)"
+    }
+
+    fn points(&self, profile: RunProfile) -> Vec<ExperimentPoint> {
+        let mut out = Vec::new();
+        for (item, bufs) in SCENARIOS {
+            for point in configs() {
+                for channels in CHANNELS {
+                    out.push(ExperimentPoint::peak(
+                        format!("{item}B/rx={bufs} {} ch={channels}", point.label()),
+                        kvs_experiment(profile, point, item, bufs, channels),
+                    ));
+                }
             }
-            fig_a.row(tputs);
-            fig_b.row(bws);
         }
+        out
+    }
 
-        fig_a.emit(&format!("fig8a_{item}_{bufs}"));
-        fig_b.emit(&format!("fig8b_{item}_{bufs}"));
+    fn render(&self, _profile: RunProfile, outcomes: &[PointOutcome]) {
+        let mut rows = outcomes.chunks_exact(CHANNELS.len());
+        for (item, bufs) in SCENARIOS {
+            let title_a =
+                format!("Figure 8a — KVS peak throughput (Mrps), {item}B packets, rx={bufs}");
+            let title_b =
+                format!("Figure 8b — memory bandwidth at peak (GB/s), {item}B packets, rx={bufs}");
+            let mut fig_a = Table::new(&title_a, &["config", "3ch", "4ch", "8ch"]);
+            let mut fig_b = Table::new(&title_b, &["config", "3ch", "4ch", "8ch"]);
+
+            for point in configs() {
+                let row = rows.next().expect("one outcome row per config");
+                let mut tputs = vec![point.label()];
+                let mut bws = vec![point.label()];
+                for peak in row {
+                    tputs.push(f1(peak.throughput_mrps()));
+                    bws.push(f1(peak.report.memory_bandwidth_gbps()));
+                }
+                fig_a.row(tputs);
+                fig_b.row(bws);
+            }
+
+            fig_a.emit(&format!("fig8a_{item}_{bufs}"));
+            fig_b.emit(&format!("fig8b_{item}_{bufs}"));
+        }
     }
 }

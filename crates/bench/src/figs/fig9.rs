@@ -11,16 +11,23 @@
 //!   DDIO ways grow from 2 to 12.
 
 use sweeper_core::experiment::{Experiment, ExperimentConfig};
-use sweeper_core::server::RunReport;
+use sweeper_core::fleet::{ExperimentPoint, PointOutcome};
+use sweeper_core::profile::RunProfile;
 use sweeper_sim::cache::WayMask;
-use sweeper_sim::hierarchy::InjectionPolicy;
 
-use crate::{f1, fast_mode, wrapped_run_options, SystemPoint, Table};
+use super::Figure;
+use crate::{f1, wrapped_run_options, SystemPoint, Table};
 use sweeper_workloads::l3fwd::{L3Forwarder, L3fwdConfig};
 use sweeper_workloads::xmem::{Xmem, XmemConfig};
 
 /// L3fwd tenant cores (the remaining 12 run X-Mem).
 pub const NET_CORES: u16 = 12;
+
+/// DDIO-partition sizes of the disjoint study (X-Mem gets `12 - A` ways).
+pub const DISJOINT_WAYS: [u32; 5] = [2, 4, 6, 8, 10];
+
+/// DDIO way counts of the overlapping study.
+pub const OVERLAP_WAYS: [u32; 6] = [2, 4, 6, 8, 10, 12];
 
 /// Keep-queued depth of the network tenant — a DPDK-like batching depth
 /// that keeps the cores busy without driving the memory system into deep
@@ -29,13 +36,22 @@ pub const NET_CORES: u16 = 12;
 const DEPTH: usize = 16;
 
 /// Builds the collocated experiment for one `(ddio_ways, xmem_mask)` point.
-fn collocated(point: SystemPoint, xmem_mask: WayMask, net_mask: WayMask) -> Experiment {
+fn collocated(
+    profile: RunProfile,
+    point: SystemPoint,
+    xmem_mask: WayMask,
+    net_mask: WayMask,
+) -> Experiment {
     // X-Mem is orders of magnitude slower per "request" than L3fwd, so the
     // windows are time-based: warmup must cover X-Mem's cold pass over its
     // 2 MB dataset (~15 M cycles) and the measurement must span several
     // dataset wraps.
-    let mut opts = wrapped_run_options(NET_CORES, 2048);
-    let scale = if fast_mode() { 2 } else { 1 };
+    let mut opts = wrapped_run_options(profile, NET_CORES, 2048);
+    let scale = match profile {
+        RunProfile::Full => 1,
+        RunProfile::Fast => 2,
+        RunProfile::Smoke => 8,
+    };
     opts.min_warmup_cycles = 24_000_000 / scale;
     opts.min_measure_cycles = 40_000_000 / scale;
     let cfg = point.apply(
@@ -46,7 +62,7 @@ fn collocated(point: SystemPoint, xmem_mask: WayMask, net_mask: WayMask) -> Expe
             .run_options(opts),
     );
     let total_cores = cfg.machine().cores as u16;
-    Experiment::new(cfg, || L3Forwarder::new(L3fwdConfig::l1_resident()))
+    cfg.experiment(|| L3Forwarder::new(L3fwdConfig::l1_resident()))
         .with_background(|| Xmem::new(XmemConfig::paper_default()))
         .with_server_hook(move |server| {
             let mem = server.memory_mut();
@@ -59,122 +75,150 @@ fn collocated(point: SystemPoint, xmem_mask: WayMask, net_mask: WayMask) -> Expe
         })
 }
 
-fn run_point(point: SystemPoint, xmem_mask: WayMask, net_mask: WayMask) -> RunReport {
-    collocated(point, xmem_mask, net_mask).run_keep_queued(DEPTH)
+fn system_point(ways: u32, sweeper: bool) -> SystemPoint {
+    if sweeper {
+        SystemPoint::ddio_sweeper(ways)
+    } else {
+        SystemPoint::ddio(ways)
+    }
 }
 
-/// Runs both collocation scenarios and emits their tables.
-pub fn run() {
-    // ---- (a) non-overlapping partitions: (A, B) with A + B = 12 ----
-    let mut fig_a = Table::new(
-        "Figure 9a — disjoint partitions (DDIO ways A, X-Mem ways B)",
-        &[
-            "(A,B)",
-            "mode",
-            "l3fwd Mrps",
-            "xmem Mit/s",
-            "l3fwd norm",
-            "xmem norm",
-        ],
-    );
-    let mut raw_a = Vec::new();
-    for a in [2u32, 4, 6, 8, 10] {
-        for sweeper in [false, true] {
-            let point = if sweeper {
-                SystemPoint::ddio_sweeper(a)
-            } else {
-                SystemPoint::ddio(a)
-            };
-            let xmem_mask = WayMask::range(a, 12);
-            let net_mask = WayMask::first(a);
-            let report = run_point(point, xmem_mask, net_mask);
-            eprintln!(
-                "[fig9a] ({a},{}) {}: l3fwd {:.1} Mrps, xmem {:.2} Mit/s",
-                12 - a,
-                if sweeper { "sweeper" } else { "ddio" },
-                report.throughput_mrps(),
-                report.background_mips()
-            );
-            raw_a.push((a, sweeper, report));
-        }
+fn mode_name(sweeper: bool) -> &'static str {
+    if sweeper {
+        "DDIO + Sweeper"
+    } else {
+        "DDIO"
     }
-    // Normalize to the (4,8) Sweeper point, as the paper's axes do.
-    let norm = raw_a
-        .iter()
-        .find(|(a, s, _)| *a == 4 && *s)
-        .map(|(_, _, r)| (r.throughput_mrps(), r.background_mips()))
-        .expect("(4,8) sweeper point present");
-    for (a, sweeper, report) in &raw_a {
-        fig_a.row(vec![
-            format!("({a},{})", 12 - a),
-            if *sweeper { "DDIO + Sweeper" } else { "DDIO" }.to_string(),
-            f1(report.throughput_mrps()),
-            f1(report.background_mips()),
-            f1(report.throughput_mrps() / norm.0),
-            f1(report.background_mips() / norm.1),
-        ]);
-    }
-    fig_a.emit("fig9a");
-
-    // ---- (b) overlapping partitions: X-Mem uses the whole LLC ----
-    let mut fig_b = Table::new(
-        "Figure 9b — overlapping partitions (X-Mem uses all 12 ways)",
-        &[
-            "DDIO ways",
-            "mode",
-            "l3fwd Mrps",
-            "xmem Mit/s",
-            "l3fwd norm",
-            "xmem norm",
-        ],
-    );
-    let mut raw_b = Vec::new();
-    for ways in [2u32, 4, 6, 8, 10, 12] {
-        for sweeper in [false, true] {
-            let point = if sweeper {
-                SystemPoint::ddio_sweeper(ways)
-            } else {
-                SystemPoint::ddio(ways)
-            };
-            let report = run_point(point, WayMask::ALL, WayMask::ALL);
-            eprintln!(
-                "[fig9b] ways={ways} {}: l3fwd {:.1} Mrps, xmem {:.2} Mit/s",
-                if sweeper { "sweeper" } else { "ddio" },
-                report.throughput_mrps(),
-                report.background_mips()
-            );
-            raw_b.push((ways, sweeper, report));
-        }
-    }
-    // Paper normalizes L3fwd to its 2-way-Sweeper and X-Mem to the
-    // 6-way-Sweeper values.
-    let l3_norm = raw_b
-        .iter()
-        .find(|(w, s, _)| *w == 2 && *s)
-        .map(|(_, _, r)| r.throughput_mrps())
-        .expect("2-way sweeper point present");
-    let xm_norm = raw_b
-        .iter()
-        .find(|(w, s, _)| *w == 6 && *s)
-        .map(|(_, _, r)| r.background_mips())
-        .expect("6-way sweeper point present");
-    for (ways, sweeper, report) in &raw_b {
-        fig_b.row(vec![
-            ways.to_string(),
-            if *sweeper { "DDIO + Sweeper" } else { "DDIO" }.to_string(),
-            f1(report.throughput_mrps()),
-            f1(report.background_mips()),
-            f1(report.throughput_mrps() / l3_norm),
-            f1(report.background_mips() / xm_norm),
-        ]);
-    }
-    fig_b.emit("fig9b");
-
-    // Point out the SystemPoint policy sanity: collocation only makes sense
-    // under DDIO.
-    debug_assert!(points_are_ddio());
 }
 
-fn points_are_ddio() -> bool {
-    SystemPoint::ddio(2).policy == InjectionPolicy::Ddio
+/// The §VI-E collocation study.
+pub struct Fig9;
+
+impl Figure for Fig9 {
+    fn name(&self) -> &'static str {
+        "fig9"
+    }
+
+    fn description(&self) -> &'static str {
+        "Collocated L3fwd + X-Mem under LLC way partitioning (§VI-E)"
+    }
+
+    /// The disjoint-partition points first (ways × ±Sweeper), then the
+    /// overlapping-partition points.
+    fn points(&self, profile: RunProfile) -> Vec<ExperimentPoint> {
+        let mut out = Vec::new();
+        for a in DISJOINT_WAYS {
+            for sweeper in [false, true] {
+                out.push(ExperimentPoint::keep_queued(
+                    format!("a ({a},{}) {}", 12 - a, mode_name(sweeper)),
+                    collocated(
+                        profile,
+                        system_point(a, sweeper),
+                        WayMask::range(a, 12),
+                        WayMask::first(a),
+                    ),
+                    DEPTH,
+                ));
+            }
+        }
+        for ways in OVERLAP_WAYS {
+            for sweeper in [false, true] {
+                out.push(ExperimentPoint::keep_queued(
+                    format!("b ways={ways} {}", mode_name(sweeper)),
+                    collocated(
+                        profile,
+                        system_point(ways, sweeper),
+                        WayMask::ALL,
+                        WayMask::ALL,
+                    ),
+                    DEPTH,
+                ));
+            }
+        }
+        out
+    }
+
+    fn render(&self, _profile: RunProfile, outcomes: &[PointOutcome]) {
+        let split = DISJOINT_WAYS.len() * 2;
+        let (raw_a, raw_b) = outcomes.split_at(split);
+
+        // ---- (a) non-overlapping partitions: (A, B) with A + B = 12 ----
+        let mut fig_a = Table::new(
+            "Figure 9a — disjoint partitions (DDIO ways A, X-Mem ways B)",
+            &[
+                "(A,B)",
+                "mode",
+                "l3fwd Mrps",
+                "xmem Mit/s",
+                "l3fwd norm",
+                "xmem norm",
+            ],
+        );
+        // Normalize to the (4,8) Sweeper point, as the paper's axes do.
+        let norm_idx = DISJOINT_WAYS
+            .iter()
+            .position(|&a| a == 4)
+            .expect("(4,8) point present")
+            * 2
+            + 1;
+        let norm = (
+            raw_a[norm_idx].throughput_mrps(),
+            raw_a[norm_idx].report.background_mips(),
+        );
+        let mut it = raw_a.iter();
+        for a in DISJOINT_WAYS {
+            for sweeper in [false, true] {
+                let outcome = it.next().expect("one outcome per disjoint point");
+                fig_a.row(vec![
+                    format!("({a},{})", 12 - a),
+                    mode_name(sweeper).to_string(),
+                    f1(outcome.throughput_mrps()),
+                    f1(outcome.report.background_mips()),
+                    f1(outcome.throughput_mrps() / norm.0),
+                    f1(outcome.report.background_mips() / norm.1),
+                ]);
+            }
+        }
+        fig_a.emit("fig9a");
+
+        // ---- (b) overlapping partitions: X-Mem uses the whole LLC ----
+        let mut fig_b = Table::new(
+            "Figure 9b — overlapping partitions (X-Mem uses all 12 ways)",
+            &[
+                "DDIO ways",
+                "mode",
+                "l3fwd Mrps",
+                "xmem Mit/s",
+                "l3fwd norm",
+                "xmem norm",
+            ],
+        );
+        // Paper normalizes L3fwd to its 2-way-Sweeper and X-Mem to the
+        // 6-way-Sweeper values.
+        let idx_of = |target: u32| {
+            OVERLAP_WAYS
+                .iter()
+                .position(|&w| w == target)
+                .expect("normalization point present")
+                * 2
+                + 1
+        };
+        let l3_norm = raw_b[idx_of(2)].throughput_mrps();
+        let xm_norm = raw_b[idx_of(6)].report.background_mips();
+        let mut it = raw_b.iter();
+        for ways in OVERLAP_WAYS {
+            for sweeper in [false, true] {
+                let outcome = it.next().expect("one outcome per overlap point");
+                fig_b.row(vec![
+                    ways.to_string(),
+                    mode_name(sweeper).to_string(),
+                    f1(outcome.throughput_mrps()),
+                    f1(outcome.report.background_mips()),
+                    f1(outcome.throughput_mrps() / l3_norm),
+                    f1(outcome.report.background_mips() / xm_norm),
+                ]);
+            }
+        }
+        fig_b.emit("fig9b");
+    }
 }

@@ -1,6 +1,16 @@
-//! One module per paper table/figure; each exposes a `run()` entry point
-//! used by the corresponding `src/bin` wrapper and by the `all` binary.
+//! One module per paper table/figure, unified behind the [`Figure`] trait:
+//! each figure *declares* its sweep as a list of
+//! [`ExperimentPoint`](sweeper_core::fleet::ExperimentPoint)s and *renders*
+//! the collected [`PointOutcome`](sweeper_core::fleet::PointOutcome)s into
+//! the paper's tables. Execution — parallelism, seeding, progress, timing —
+//! lives in the [`Fleet`](sweeper_core::fleet::Fleet), not in the figures.
+//!
+//! [`registry`] lists every runnable figure; the `src/bin` wrappers, the
+//! `all` binary, and the `sweeper` CLI all dispatch through it (via
+//! [`run_figure`](crate::run_figure)). `table1` is a parameter listing with
+//! no experiment points and stays a plain module.
 
+pub mod ablations;
 pub mod fig1;
 pub mod fig2;
 pub mod fig5;
@@ -11,31 +21,125 @@ pub mod fig9;
 pub mod fig10;
 pub mod table1;
 
+use sweeper_core::fleet::{ExperimentPoint, PointOutcome};
+use sweeper_core::profile::RunProfile;
+
+use crate::FigContext;
+
+/// A reproducible paper figure: a declarative point sweep plus a renderer.
+///
+/// The default [`Figure::run`] covers the common single-stage shape —
+/// enumerate, fan out across the fleet, render. Figures with data-dependent
+/// stages (Figure 6 derives its iso-throughput rate from a first-stage
+/// peak search) override `run` and feed `render` the concatenated
+/// outcomes.
+pub trait Figure: Sync {
+    /// Registry key, e.g. `"fig5"` — matches the binary name.
+    fn name(&self) -> &'static str;
+
+    /// One-line description shown by `sweeper figures`.
+    fn description(&self) -> &'static str;
+
+    /// Enumerates the figure's sweep under `profile`. Labels must be
+    /// unique within the figure; declaration order is the render order.
+    fn points(&self, profile: RunProfile) -> Vec<ExperimentPoint>;
+
+    /// Renders outcomes (in declaration order) into the paper's tables and
+    /// CSVs.
+    fn render(&self, profile: RunProfile, outcomes: &[PointOutcome]);
+
+    /// Executes the figure end-to-end.
+    fn run(&self, ctx: &FigContext) {
+        let outcomes = ctx.fleet.run(self.points(ctx.profile));
+        self.render(ctx.profile, &outcomes);
+    }
+}
+
+/// Every runnable figure, in the paper's order (plus the ablation study).
+pub fn registry() -> &'static [&'static dyn Figure] {
+    &[
+        &fig1::Fig1,
+        &fig2::Fig2,
+        &fig5::Fig5,
+        &fig6::Fig6,
+        &fig7::Fig7,
+        &fig8::Fig8,
+        &fig9::Fig9,
+        &fig10::Fig10,
+        &ablations::Ablations,
+    ]
+}
+
+/// Looks a figure up by its registry key (case-insensitive).
+pub fn find(name: &str) -> Option<&'static dyn Figure> {
+    registry()
+        .iter()
+        .copied()
+        .find(|f| f.name().eq_ignore_ascii_case(name))
+}
+
 #[cfg(test)]
 mod tests {
+    use std::collections::HashSet;
+
+    use super::*;
+
     #[test]
     fn figure_point_sets_match_the_paper() {
-        // Fig 1: DMA, DDIO{2,4,6}, Ideal.
-        assert_eq!(super::fig1::points().len(), 5);
-        // Fig 2: DDIO{2,6,12}, Ideal.
-        assert_eq!(super::fig2::points().len(), 4);
-        // Fig 5: DDIO{2,4,6,12} x ±Sweeper + Ideal.
-        assert_eq!(super::fig5::points().len(), 9);
-        // Fig 6: DDIO{2,12} x ±Sweeper.
-        assert_eq!(super::fig6::points().len(), 4);
-        // Fig 7: DDIO{2,6,12} x ±Sweeper + Ideal.
-        assert_eq!(super::fig7::points().len(), 7);
-        // Fig 8: DDIO{2,6,12} x ±Sweeper + Ideal over 3 channel counts.
-        assert_eq!(super::fig8::points().len(), 7);
-        assert_eq!(super::fig8::CHANNELS, [3, 4, 8]);
-        assert_eq!(super::fig8::SCENARIOS.len(), 3);
-        // Fig 10 sweeps five ring depths.
-        assert_eq!(super::fig10::BUFFERS, [128, 256, 512, 1024, 2048]);
+        let p = RunProfile::Smoke;
+        // Fig 1: (DMA, DDIO{2,4,6}, Ideal) × 3 ring depths.
+        assert_eq!(fig1::Fig1.points(p).len(), 15);
+        // Fig 2: (DDIO{2,6,12}, Ideal) × 3 queued depths.
+        assert_eq!(fig2::Fig2.points(p).len(), 12);
+        // Fig 5: 2 item sizes × (DDIO{2,4,6,12} ± Sweeper + Ideal) × 3 depths.
+        assert_eq!(fig5::Fig5.points(p).len(), 54);
+        // Fig 6 stage one: DDIO{2,12} × ±Sweeper at their own peaks.
+        assert_eq!(fig6::Fig6.points(p).len(), 4);
+        // Fig 7: (DDIO{2,6,12} ± Sweeper + Ideal) × 2 depths.
+        assert_eq!(fig7::Fig7.points(p).len(), 14);
+        // Fig 8: 3 scenarios × 7 configs × 3 channel counts.
+        assert_eq!(fig8::Fig8.points(p).len(), 63);
+        assert_eq!(fig8::CHANNELS, [3, 4, 8]);
+        assert_eq!(fig8::SCENARIOS.len(), 3);
+        // Fig 9: 5 disjoint splits × 2 modes + 6 way counts × 2 modes.
+        assert_eq!(fig9::Fig9.points(p).len(), 22);
+        // Fig 10: 5 depths × 2 modes no-drop peaks + 7 rates × 3 series.
+        assert_eq!(fig10::Fig10.points(p).len(), 31);
+        assert_eq!(fig10::BUFFERS, [128, 256, 512, 1024, 2048]);
+    }
+
+    #[test]
+    fn registry_figures_enumerate_unique_labelled_points() {
+        for figure in registry() {
+            let points = figure.points(RunProfile::Smoke);
+            assert!(
+                !points.is_empty(),
+                "{} must enumerate at least one point",
+                figure.name()
+            );
+            let labels: HashSet<&str> = points.iter().map(|p| p.label()).collect();
+            assert_eq!(
+                labels.len(),
+                points.len(),
+                "{} has duplicate point labels",
+                figure.name()
+            );
+            assert!(!figure.description().is_empty());
+        }
+    }
+
+    #[test]
+    fn registry_lookup_is_case_insensitive_and_total() {
+        for figure in registry() {
+            assert_eq!(find(figure.name()).unwrap().name(), figure.name());
+            assert!(find(&figure.name().to_uppercase()).is_some());
+        }
+        assert!(find("fig3").is_none());
     }
 
     #[test]
     fn table1_asserts_the_preset() {
         // Running it exercises all the hard assertions.
-        super::table1::run();
+        table1::run();
     }
 }

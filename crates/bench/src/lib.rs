@@ -1,14 +1,22 @@
 //! Shared driver code for the benchmark harness that regenerates every
 //! table and figure of *"Patching up Network Data Leaks with Sweeper"*.
 //!
-//! Each figure has a dedicated binary in `src/bin/` (`fig1` … `fig10`,
-//! `table1`); `all` runs the complete evaluation. The binaries print the
-//! same rows/series the paper reports and, when a `results/` directory
-//! exists, also write CSV files for plotting.
+//! Each figure is a [`figs::Figure`] in the shared registry: it enumerates
+//! its sweep as self-describing
+//! [`ExperimentPoint`](sweeper_core::fleet::ExperimentPoint)s and renders
+//! the collected outcomes into the paper's tables (plus CSV files when a
+//! `results/` directory exists). The dedicated binaries in `src/bin/`
+//! (`fig1` … `fig10`, `table1`, `ablations`, `all`) all dispatch through
+//! [`run_figure`], so every figure inherits:
 //!
-//! Run lengths honour the `SWEEPER_FAST` environment variable (any non-empty
-//! value quarters the measured requests) so CI can smoke the harness
-//! quickly.
+//! * **parallelism** — points fan out across a
+//!   [`Fleet`](sweeper_core::fleet::Fleet) worker pool (`--jobs N` or
+//!   `SWEEPER_JOBS`, default = available parallelism) with identical
+//!   results for any worker count,
+//! * **run profiles** — `--profile full|fast|smoke` (or `SWEEPER_PROFILE`;
+//!   a non-empty legacy `SWEEPER_FAST` still selects `fast`) parsed once
+//!   into a typed [`RunProfile`],
+//! * **timing** — per-point wall time on stderr and per-figure totals.
 
 pub mod figs;
 
@@ -16,40 +24,139 @@ use std::fmt::Write as _;
 use std::path::PathBuf;
 
 use sweeper_core::experiment::{Experiment, ExperimentConfig};
+use sweeper_core::fleet::Fleet;
+use sweeper_core::profile::RunProfile;
 use sweeper_core::server::{RunOptions, RunReport, SweeperMode};
 use sweeper_sim::hierarchy::InjectionPolicy;
 use sweeper_sim::stats::TrafficClass;
 use sweeper_workloads::kvs::{KvsConfig, MicaKvs, HEADER_BYTES};
 use sweeper_workloads::l3fwd::{L3Forwarder, L3fwdConfig};
 
-/// Whether the quick smoke mode is requested.
-pub fn fast_mode() -> bool {
-    std::env::var("SWEEPER_FAST").is_ok_and(|v| !v.is_empty())
+/// Everything a figure needs to execute: the run-length profile and the
+/// worker fleet. Parsed once (environment + flags) and threaded through
+/// the registry.
+#[derive(Debug, Clone)]
+pub struct FigContext {
+    /// Run-length profile for every experiment of the figure.
+    pub profile: RunProfile,
+    /// Worker pool the figure's points fan out across.
+    pub fleet: Fleet,
 }
 
-/// Run lengths for Poisson load sweeps, scaled down under `SWEEPER_FAST`.
+impl FigContext {
+    /// Context from the environment alone (`SWEEPER_PROFILE`/`SWEEPER_FAST`
+    /// and `SWEEPER_JOBS`).
+    pub fn from_env() -> Self {
+        Self {
+            profile: RunProfile::from_env(),
+            fleet: Fleet::from_env(),
+        }
+    }
+
+    /// Context from the environment with command-line overrides — the
+    /// shared flag parser of every figure binary. Recognized flags:
+    /// `--jobs N` and `--profile full|fast|smoke`.
+    pub fn from_env_and_args<I: IntoIterator<Item = String>>(args: I) -> Result<Self, String> {
+        let mut ctx = Self::from_env();
+        let mut it = args.into_iter();
+        while let Some(flag) = it.next() {
+            match flag.as_str() {
+                "--jobs" => {
+                    let v = it.next().ok_or("flag --jobs needs a value")?;
+                    let jobs: usize = v.parse().map_err(|_| format!("invalid --jobs '{v}'"))?;
+                    ctx.fleet = Fleet::new(jobs);
+                }
+                "--profile" => {
+                    let v = it.next().ok_or("flag --profile needs a value")?;
+                    ctx.profile = v.parse()?;
+                }
+                other => {
+                    return Err(format!(
+                        "unknown flag '{other}' (figure binaries take --jobs N and --profile full|fast|smoke)"
+                    ))
+                }
+            }
+        }
+        Ok(ctx)
+    }
+}
+
+/// Runs one registered figure (or `table1`) under `ctx`. The single entry
+/// point behind every binary and the CLI's `figure` command.
+pub fn run_figure(name: &str, ctx: &FigContext) -> Result<(), String> {
+    if name == "table1" {
+        figs::table1::run();
+        return Ok(());
+    }
+    let figure = figs::find(name).ok_or_else(|| {
+        format!(
+            "unknown figure '{name}' (available: table1, {})",
+            figs::registry()
+                .iter()
+                .map(|f| f.name())
+                .collect::<Vec<_>>()
+                .join(", ")
+        )
+    })?;
+    let t = std::time::Instant::now();
+    eprintln!(
+        "[{}] {} — {} points, {} workers, profile {}",
+        figure.name(),
+        figure.description(),
+        figure.points(ctx.profile).len(),
+        ctx.fleet.jobs(),
+        ctx.profile,
+    );
+    figure.run(ctx);
+    eprintln!("[{}] done in {:.1?}", figure.name(), t.elapsed());
+    Ok(())
+}
+
+/// `main` of every figure binary: parse the shared flags, run the figure,
+/// exit non-zero on a usage error.
+pub fn figure_main(name: &str) {
+    let ctx = match FigContext::from_env_and_args(std::env::args().skip(1)) {
+        Ok(ctx) => ctx,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = run_figure(name, &ctx) {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    }
+}
+
+/// Run lengths for Poisson load sweeps under a [`RunProfile`].
 ///
 /// The warmup must cycle each core's RX ring at least once so that
 /// steady-state buffer churn — the phenomenon under study — is in effect
 /// when measurement starts; [`ring_warmup`] computes that floor and the
 /// experiment builders apply it.
-pub fn figure_run_options() -> RunOptions {
-    if fast_mode() {
-        RunOptions {
-            warmup_requests: 4_000,
-            measure_requests: 8_000,
-            max_cycles: 60_000_000_000,
-            min_warmup_cycles: 0,
-            min_measure_cycles: 0,
-        }
-    } else {
-        RunOptions {
+pub fn figure_run_options(profile: RunProfile) -> RunOptions {
+    match profile {
+        RunProfile::Full => RunOptions {
             warmup_requests: 10_000,
             measure_requests: 30_000,
             max_cycles: 120_000_000_000,
             min_warmup_cycles: 0,
             min_measure_cycles: 0,
-        }
+        },
+        RunProfile::Fast => RunOptions {
+            warmup_requests: 4_000,
+            measure_requests: 8_000,
+            max_cycles: 60_000_000_000,
+            min_warmup_cycles: 0,
+            min_measure_cycles: 0,
+        },
+        RunProfile::Smoke => RunOptions {
+            warmup_requests: 1_000,
+            measure_requests: 2_000,
+            max_cycles: 30_000_000_000,
+            min_warmup_cycles: 0,
+            min_measure_cycles: 0,
+        },
     }
 }
 
@@ -60,8 +167,16 @@ pub fn ring_warmup(active_cores: u16, rx_entries: usize) -> u64 {
 
 /// Run lengths whose warmup fully wraps the RX rings (used by the
 /// keep-queued L3fwd scenarios and any deep-ring configuration).
-pub fn wrapped_run_options(active_cores: u16, rx_entries: usize) -> RunOptions {
-    let base = figure_run_options();
+///
+/// The ring-wrap floor is physics, not budget, so it applies under every
+/// profile — a smoke run of a deep-ring scenario is still a *valid* (if
+/// noisy) run.
+pub fn wrapped_run_options(
+    profile: RunProfile,
+    active_cores: u16,
+    rx_entries: usize,
+) -> RunOptions {
+    let base = figure_run_options(profile);
     RunOptions {
         warmup_requests: base
             .warmup_requests
@@ -142,32 +257,35 @@ impl SystemPoint {
 /// `item_bytes` is the KVS value size (request packets carry
 /// `item + header`); `rx_buffers` the per-core ring depth.
 pub fn kvs_experiment(
+    profile: RunProfile,
     point: SystemPoint,
     item_bytes: u64,
     rx_buffers: usize,
     channels: usize,
 ) -> Experiment {
     let kvs_cfg = KvsConfig::paper_default().with_item_bytes(item_bytes);
-    let cfg = point.apply(
-        ExperimentConfig::paper_default()
-            .rx_buffers_per_core(rx_buffers)
-            .packet_bytes(item_bytes + HEADER_BYTES)
-            .channels(channels)
-            .run_options(wrapped_run_options(24, rx_buffers)),
-    );
-    Experiment::new(cfg, move || MicaKvs::new(kvs_cfg))
+    point
+        .apply(
+            ExperimentConfig::paper_default()
+                .rx_buffers_per_core(rx_buffers)
+                .packet_bytes(item_bytes + HEADER_BYTES)
+                .channels(channels)
+                .run_options(wrapped_run_options(profile, 24, rx_buffers)),
+        )
+        .experiment(move || MicaKvs::new(kvs_cfg))
 }
 
 /// Builds an L3fwd experiment at paper scale (copy-out transmit path,
 /// L2-resident 16 k-rule table as in §IV-B).
-pub fn l3fwd_experiment(point: SystemPoint, rx_buffers: usize) -> Experiment {
-    let cfg = point.apply(
-        ExperimentConfig::paper_default()
-            .rx_buffers_per_core(rx_buffers)
-            .packet_bytes(1024)
-            .run_options(wrapped_run_options(24, rx_buffers)),
-    );
-    Experiment::new(cfg, || L3Forwarder::new(L3fwdConfig::l2_resident()))
+pub fn l3fwd_experiment(profile: RunProfile, point: SystemPoint, rx_buffers: usize) -> Experiment {
+    point
+        .apply(
+            ExperimentConfig::paper_default()
+                .rx_buffers_per_core(rx_buffers)
+                .packet_bytes(1024)
+                .run_options(wrapped_run_options(profile, 24, rx_buffers)),
+        )
+        .experiment(|| L3Forwarder::new(L3fwdConfig::l2_resident()))
 }
 
 /// One row of a memory-access-per-request breakdown (Figures 1c/2c/5c/7b).
@@ -300,18 +418,45 @@ mod tests {
     }
 
     #[test]
-    fn run_options_are_nontrivial() {
-        let opts = figure_run_options();
-        assert!(opts.measure_requests >= 6_000);
-        assert!(opts.warmup_requests > 0);
+    fn run_options_are_nontrivial_and_ordered() {
+        let full = figure_run_options(RunProfile::Full);
+        assert!(full.measure_requests >= 6_000);
+        assert!(full.warmup_requests > 0);
+        let fast = figure_run_options(RunProfile::Fast);
+        let smoke = figure_run_options(RunProfile::Smoke);
+        assert!(full.measure_requests > fast.measure_requests);
+        assert!(fast.measure_requests > smoke.measure_requests);
+        assert!(smoke.measure_requests > 0);
     }
 
     #[test]
     fn experiment_builders_produce_runnable_experiments() {
         // Smallest viable smoke: tiny rate, few requests via the fast path.
-        let exp = kvs_experiment(SystemPoint::ideal(), 512, 64, 4);
+        let exp = kvs_experiment(RunProfile::Smoke, SystemPoint::ideal(), 512, 64, 4);
         assert!(exp.config().rx_footprint_bytes() > 0);
-        let exp2 = l3fwd_experiment(SystemPoint::ddio(2), 64);
+        let exp2 = l3fwd_experiment(RunProfile::Smoke, SystemPoint::ddio(2), 64);
         assert!(exp2.config().machine().ddio_ways == 2);
+    }
+
+    #[test]
+    fn fig_context_parses_flags() {
+        let ctx = FigContext::from_env_and_args(
+            ["--jobs", "3", "--profile", "smoke"].map(String::from),
+        )
+        .unwrap();
+        assert_eq!(ctx.fleet.jobs(), 3);
+        assert_eq!(ctx.profile, RunProfile::Smoke);
+        assert!(FigContext::from_env_and_args(["--bogus".to_string()]).is_err());
+        assert!(FigContext::from_env_and_args(["--jobs".to_string()]).is_err());
+    }
+
+    #[test]
+    fn run_figure_rejects_unknown_names() {
+        let ctx = FigContext {
+            profile: RunProfile::Smoke,
+            fleet: Fleet::sequential().quiet(),
+        };
+        let err = run_figure("fig99", &ctx).unwrap_err();
+        assert!(err.contains("fig1"), "error should list figures: {err}");
     }
 }

@@ -122,6 +122,53 @@ impl ExperimentConfig {
         self
     }
 
+    /// The configured RNG seed. The fleet runner treats this as the *base*
+    /// seed and derives per-point seeds from it with [`seed_for_point`].
+    pub fn base_seed(&self) -> u64 {
+        self.server.seed
+    }
+
+    /// Finishes the builder into an [`Experiment`] over a workload factory
+    /// — `cfg.experiment(f)` reads as the build step of the chain:
+    ///
+    /// ```
+    /// use sweeper_core::experiment::ExperimentConfig;
+    /// use sweeper_core::workload::EchoWorkload;
+    ///
+    /// let exp = ExperimentConfig::tiny_for_tests()
+    ///     .seed(7)
+    ///     .experiment(EchoWorkload::default);
+    /// assert_eq!(exp.config().base_seed(), 7);
+    /// ```
+    pub fn experiment<W, F>(self, make: F) -> Experiment
+    where
+        W: Workload + 'static,
+        F: Fn() -> W + Send + Sync + 'static,
+    {
+        Experiment::new(self, make)
+    }
+
+    /// A compact human-readable summary of the sweep-relevant knobs —
+    /// the default point label when a caller doesn't provide one.
+    pub fn summary(&self) -> String {
+        let policy = match self.server.machine.injection {
+            InjectionPolicy::Dma => "dma".to_string(),
+            InjectionPolicy::Ideal => "ideal".to_string(),
+            InjectionPolicy::Ddio => format!("ddio{}", self.server.machine.ddio_ways),
+        };
+        let sweeper = if self.server.sweeper.is_enabled() {
+            "+sweeper"
+        } else {
+            ""
+        };
+        format!(
+            "{policy}{sweeper} rx={} pkt={} ch={}",
+            self.server.rx_entries,
+            self.server.packet_bytes,
+            self.server.machine.dram.channels,
+        )
+    }
+
     /// Overrides run lengths (warmup / measured requests, time cap).
     pub fn run_options(mut self, options: RunOptions) -> Self {
         self.options = options;
@@ -218,9 +265,30 @@ impl PeakResult {
     }
 }
 
-type WorkloadFactory = Box<dyn Fn() -> Box<dyn Workload>>;
-type BackgroundFactory = Box<dyn Fn() -> Box<dyn BackgroundTenant>>;
-type ServerHook = Box<dyn Fn(&mut Server)>;
+/// Derives the RNG seed of sweep point `index` from a base seed.
+///
+/// The derivation is a splitmix64 finalizer over `base + φ·index`, the
+/// standard way to fan one seed out into decorrelated streams. Properties
+/// the fleet relies on:
+///
+/// * **pure** — depends only on `(base, index)`, never on execution order
+///   or shared RNG state, so results are identical for any `--jobs` value;
+/// * **decorrelated** — adjacent indices land on unrelated streams, so two
+///   points with identical configurations still sample independent traffic.
+pub fn seed_for_point(base: u64, index: usize) -> u64 {
+    // φ = 2^64 / golden ratio; the same increment splitmix64 itself uses.
+    let mut z = base.wrapping_add((index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+// Factories are `Send + Sync` so an `Experiment` can move to a fleet worker
+// thread; the workloads they *create* live and die on that worker.
+type WorkloadFactory = Box<dyn Fn() -> Box<dyn Workload> + Send + Sync>;
+type BackgroundFactory = Box<dyn Fn() -> Box<dyn BackgroundTenant> + Send + Sync>;
+type ServerHook = Box<dyn Fn(&mut Server) + Send + Sync>;
 
 /// A repeatable experiment: a configuration plus workload factories.
 ///
@@ -247,7 +315,7 @@ impl Experiment {
     pub fn new<W, F>(cfg: ExperimentConfig, make: F) -> Self
     where
         W: Workload + 'static,
-        F: Fn() -> W + 'static,
+        F: Fn() -> W + Send + Sync + 'static,
     {
         Self {
             cfg,
@@ -261,7 +329,7 @@ impl Experiment {
     pub fn with_background<B, F>(mut self, make: F) -> Self
     where
         B: BackgroundTenant + 'static,
-        F: Fn() -> B + 'static,
+        F: Fn() -> B + Send + Sync + 'static,
     {
         self.make_background = Some(Box::new(move || Box::new(make())));
         self
@@ -271,7 +339,7 @@ impl Experiment {
     /// LLC way partitions before the run starts.
     pub fn with_server_hook<F>(mut self, hook: F) -> Self
     where
-        F: Fn(&mut Server) + 'static,
+        F: Fn(&mut Server) + Send + Sync + 'static,
     {
         self.hook = Some(Box::new(hook));
         self
@@ -280,6 +348,12 @@ impl Experiment {
     /// The experiment's configuration.
     pub fn config(&self) -> &ExperimentConfig {
         &self.cfg
+    }
+
+    /// Replaces the RNG seed in place; the fleet runner uses this to give
+    /// each enumerated point its [`seed_for_point`]-derived stream.
+    pub fn reseed(&mut self, seed: u64) {
+        self.cfg.server.seed = seed;
     }
 
     fn build(&self, arrivals: ArrivalProcess) -> Server {
@@ -405,6 +479,38 @@ mod tests {
         assert_eq!(cfg.server_config().packet_bytes, 512);
         assert_eq!(cfg.server_config().seed, 99);
         assert_eq!(cfg.rx_footprint_bytes(), 2 * 32 * 1024);
+    }
+
+    #[test]
+    fn seed_for_point_is_pure_and_decorrelated() {
+        assert_eq!(seed_for_point(7, 3), seed_for_point(7, 3));
+        // Distinct indices and distinct bases land on distinct streams.
+        let mut seen = std::collections::HashSet::new();
+        for base in [0u64, 1, 0x5eed] {
+            for index in 0..64 {
+                assert!(seen.insert(seed_for_point(base, index)));
+            }
+        }
+        // Index 0 is not the identity: even the first point gets a mixed
+        // stream, so fleet and legacy sequential runs are distinguishable.
+        assert_ne!(seed_for_point(0x5eed, 0), 0x5eed);
+    }
+
+    #[test]
+    fn config_summary_and_build_access() {
+        let cfg = ExperimentConfig::tiny_for_tests()
+            .injection(InjectionPolicy::Ddio)
+            .ddio_ways(4)
+            .sweeper(SweeperMode::Enabled)
+            .rx_buffers_per_core(128)
+            .seed(41);
+        assert_eq!(cfg.base_seed(), 41);
+        let summary = cfg.summary();
+        assert!(summary.contains("ddio4+sweeper"), "summary: {summary}");
+        assert!(summary.contains("rx=128"), "summary: {summary}");
+        let mut exp = cfg.experiment(EchoWorkload::default);
+        exp.reseed(seed_for_point(41, 5));
+        assert_eq!(exp.config().base_seed(), seed_for_point(41, 5));
     }
 
     #[test]

@@ -1,0 +1,402 @@
+//! Parallel experiment fleet: run independent simulation points across a
+//! worker pool of OS threads.
+//!
+//! Regenerating a paper figure means running tens of *independent*
+//! simulation points (policy × ways × buffer depth …). Each point is a
+//! self-contained [`Experiment`] with its own seed, so points can execute
+//! on any thread in any order without changing results — the fleet
+//! guarantees **determinism by construction**:
+//!
+//! 1. every point receives a seed derived from its *declaration index*
+//!    ([`seed_for_point`]), never from shared RNG state, and
+//! 2. outcomes are collected back in declaration order, so rendered tables
+//!    and CSVs are byte-identical for any `--jobs` value.
+//!
+//! The worker count comes from [`Fleet::from_env`] (`SWEEPER_JOBS`, default
+//! = available parallelism) or an explicit [`Fleet::new`]. A single-point
+//! fleet, or `--jobs 1`, degrades to plain sequential execution on the
+//! calling thread.
+//!
+//! ```
+//! use sweeper_core::experiment::ExperimentConfig;
+//! use sweeper_core::fleet::{ExperimentPoint, Fleet};
+//! use sweeper_core::workload::EchoWorkload;
+//!
+//! let points = (0..4)
+//!     .map(|i| {
+//!         ExperimentPoint::at_rate(
+//!             format!("echo#{i}"),
+//!             ExperimentConfig::tiny_for_tests().experiment(EchoWorkload::default),
+//!             2.0e6,
+//!         )
+//!     })
+//!     .collect();
+//! let outcomes = Fleet::new(2).quiet().run(points);
+//! assert_eq!(outcomes.len(), 4);
+//! assert!(outcomes.iter().all(|o| o.report.completed > 0));
+//! ```
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use crate::experiment::{seed_for_point, Experiment, PeakCriteria};
+use crate::server::RunReport;
+
+/// How the fleet drives one experiment point.
+#[derive(Debug, Clone, Copy)]
+pub enum PointAction {
+    /// Peak-throughput search under the given criteria
+    /// ([`Experiment::find_peak`]). The bisection stays sequential *within*
+    /// the point; independent points still fan out.
+    Peak(PeakCriteria),
+    /// One open-loop run at a Poisson rate in packets/second
+    /// ([`Experiment::run_at_rate`]).
+    AtRate(f64),
+    /// One closed-loop keep-queued run at depth *D*
+    /// ([`Experiment::run_keep_queued`]).
+    KeepQueued(usize),
+}
+
+/// One self-describing unit of fleet work: a labelled experiment plus the
+/// action that drives it.
+pub struct ExperimentPoint {
+    label: String,
+    experiment: Experiment,
+    action: PointAction,
+}
+
+impl ExperimentPoint {
+    /// A point with an explicit action.
+    pub fn new(label: impl Into<String>, experiment: Experiment, action: PointAction) -> Self {
+        Self {
+            label: label.into(),
+            experiment,
+            action,
+        }
+    }
+
+    /// Peak search under default criteria.
+    pub fn peak(label: impl Into<String>, experiment: Experiment) -> Self {
+        Self::new(label, experiment, PointAction::Peak(PeakCriteria::default()))
+    }
+
+    /// Peak search under explicit criteria.
+    pub fn peak_with(
+        label: impl Into<String>,
+        experiment: Experiment,
+        criteria: PeakCriteria,
+    ) -> Self {
+        Self::new(label, experiment, PointAction::Peak(criteria))
+    }
+
+    /// Open-loop run at `rate` packets/second.
+    pub fn at_rate(label: impl Into<String>, experiment: Experiment, rate: f64) -> Self {
+        Self::new(label, experiment, PointAction::AtRate(rate))
+    }
+
+    /// Closed-loop keep-queued run at `depth`.
+    pub fn keep_queued(label: impl Into<String>, experiment: Experiment, depth: usize) -> Self {
+        Self::new(label, experiment, PointAction::KeepQueued(depth))
+    }
+
+    /// The point's display label.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// The point's experiment.
+    pub fn experiment(&self) -> &Experiment {
+        &self.experiment
+    }
+
+    /// The action the fleet will run.
+    pub fn action(&self) -> PointAction {
+        self.action
+    }
+
+    fn execute(self) -> PointOutcome {
+        let start = Instant::now();
+        let (report, peak_rate) = match self.action {
+            PointAction::Peak(criteria) => {
+                let peak = self.experiment.find_peak(criteria);
+                (peak.report, Some(peak.rate))
+            }
+            PointAction::AtRate(rate) => (self.experiment.run_at_rate(rate), None),
+            PointAction::KeepQueued(depth) => (self.experiment.run_keep_queued(depth), None),
+        };
+        PointOutcome {
+            label: self.label,
+            report,
+            peak_rate,
+            wall: start.elapsed(),
+        }
+    }
+}
+
+/// Result of one executed point, in declaration order.
+#[derive(Debug, Clone)]
+pub struct PointOutcome {
+    /// The point's label, copied through from [`ExperimentPoint`].
+    pub label: String,
+    /// The run's report (the peak-rate run's report for
+    /// [`PointAction::Peak`] points).
+    pub report: RunReport,
+    /// The peak offered rate in packets/second, for peak points.
+    pub peak_rate: Option<f64>,
+    /// Host wall-clock time this point took.
+    pub wall: Duration,
+}
+
+impl PointOutcome {
+    /// Application throughput of the point's report, in Mrps.
+    pub fn throughput_mrps(&self) -> f64 {
+        self.report.throughput_mrps()
+    }
+}
+
+/// A worker pool executing [`ExperimentPoint`]s.
+#[derive(Debug, Clone)]
+pub struct Fleet {
+    jobs: usize,
+    progress: bool,
+}
+
+impl Default for Fleet {
+    fn default() -> Self {
+        Self::from_env()
+    }
+}
+
+impl Fleet {
+    /// A fleet with an explicit worker count (clamped to ≥ 1).
+    pub fn new(jobs: usize) -> Self {
+        Self {
+            jobs: jobs.max(1),
+            progress: true,
+        }
+    }
+
+    /// Worker count from `SWEEPER_JOBS`, defaulting to the host's available
+    /// parallelism.
+    pub fn from_env() -> Self {
+        let jobs = std::env::var("SWEEPER_JOBS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&j| j >= 1)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            });
+        Self::new(jobs)
+    }
+
+    /// A single-worker (sequential) fleet.
+    pub fn sequential() -> Self {
+        Self::new(1)
+    }
+
+    /// Disables per-point progress lines on stderr.
+    pub fn quiet(mut self) -> Self {
+        self.progress = false;
+        self
+    }
+
+    /// The worker count.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Executes the points and returns their outcomes **in declaration
+    /// order**, regardless of worker count or completion order.
+    ///
+    /// Before anything runs, every point's experiment is re-seeded with
+    /// [`seed_for_point`]`(base, index)` over its declaration index, so the
+    /// realized random streams are a function of the point list alone —
+    /// identical for `--jobs 1` and `--jobs N`.
+    pub fn run(&self, points: Vec<ExperimentPoint>) -> Vec<PointOutcome> {
+        let total = points.len();
+        let seeded: Vec<ExperimentPoint> = points
+            .into_iter()
+            .enumerate()
+            .map(|(index, mut point)| {
+                let base = point.experiment.config().base_seed();
+                point.experiment.reseed(seed_for_point(base, index));
+                point
+            })
+            .collect();
+
+        let done = AtomicUsize::new(0);
+        let progress = self.progress;
+        let tasks: Vec<_> = seeded
+            .into_iter()
+            .map(|point| {
+                let done = &done;
+                move || {
+                    let outcome = point.execute();
+                    let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
+                    if progress {
+                        eprintln!(
+                            "[fleet {finished}/{total}] {}: {:.2} Mrps in {:.1?}",
+                            outcome.label,
+                            outcome.throughput_mrps(),
+                            outcome.wall,
+                        );
+                    }
+                    outcome
+                }
+            })
+            .collect();
+        self.run_tasks(tasks)
+    }
+
+    /// Low-level entry point: executes arbitrary closures across the worker
+    /// pool, returning results in declaration order. Used by [`Fleet::run`]
+    /// and by callers whose work units are not [`ExperimentPoint`]s (e.g.
+    /// parallel load sweeps).
+    pub fn run_tasks<T, F>(&self, tasks: Vec<F>) -> Vec<T>
+    where
+        T: Send,
+        F: FnOnce() -> T + Send,
+    {
+        let n = tasks.len();
+        let workers = self.jobs.min(n.max(1));
+        if workers <= 1 {
+            return tasks.into_iter().map(|f| f()).collect();
+        }
+
+        let queue: Mutex<VecDeque<(usize, F)>> =
+            Mutex::new(tasks.into_iter().enumerate().collect());
+        let results: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let job = queue.lock().expect("fleet queue poisoned").pop_front();
+                    let Some((index, task)) = job else { break };
+                    let value = task();
+                    *results[index].lock().expect("fleet slot poisoned") = Some(value);
+                });
+            }
+        });
+        results
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("fleet slot poisoned")
+                    .expect("every task ran to completion")
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::ExperimentConfig;
+    use crate::workload::EchoWorkload;
+
+    fn echo_point(i: usize, rate: f64) -> ExperimentPoint {
+        ExperimentPoint::at_rate(
+            format!("echo#{i}"),
+            ExperimentConfig::tiny_for_tests().experiment(|| EchoWorkload::with_think(150)),
+            rate,
+        )
+    }
+
+    fn fingerprint(outcomes: &[PointOutcome]) -> Vec<String> {
+        outcomes
+            .iter()
+            .map(|o| {
+                format!(
+                    "{}|{}|{}|{}|{}|{}",
+                    o.label,
+                    o.report.completed,
+                    o.report.offered,
+                    o.report.elapsed_cycles,
+                    o.report.mem.dram_accesses(),
+                    o.report.request_latency.percentile(0.99),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn outcomes_keep_declaration_order() {
+        let points = (0..8).map(|i| echo_point(i, 1.0e6 + i as f64 * 1.0e5)).collect();
+        let outcomes = Fleet::new(4).quiet().run(points);
+        let labels: Vec<_> = outcomes.iter().map(|o| o.label.as_str()).collect();
+        assert_eq!(
+            labels,
+            ["echo#0", "echo#1", "echo#2", "echo#3", "echo#4", "echo#5", "echo#6", "echo#7"]
+        );
+    }
+
+    #[test]
+    fn results_are_identical_for_any_worker_count() {
+        let build = || (0..6).map(|i| echo_point(i, 2.0e6)).collect::<Vec<_>>();
+        let sequential = fingerprint(&Fleet::sequential().quiet().run(build()));
+        let parallel = fingerprint(&Fleet::new(4).quiet().run(build()));
+        let oversubscribed = fingerprint(&Fleet::new(64).quiet().run(build()));
+        assert_eq!(sequential, parallel);
+        assert_eq!(sequential, oversubscribed);
+    }
+
+    #[test]
+    fn per_point_seeds_decorrelate_identical_configs() {
+        // Same config, same rate, different declaration index ⇒ different
+        // realized streams (each point gets seed_for_point(base, i)).
+        let outcomes = Fleet::sequential().quiet().run(
+            (0..2).map(|i| echo_point(i, 2.0e6)).collect(),
+        );
+        assert_ne!(
+            outcomes[0].report.request_latency.percentile(0.99),
+            outcomes[1].report.request_latency.percentile(0.99),
+            "points with distinct indices should not replay the same stream",
+        );
+    }
+
+    #[test]
+    fn run_tasks_handles_more_tasks_than_workers() {
+        let tasks: Vec<_> = (0..50)
+            .map(|i| move || i * 2)
+            .collect();
+        let out = Fleet::new(3).run_tasks(tasks);
+        assert_eq!(out, (0..50).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn env_fleet_clamps_to_at_least_one_worker() {
+        assert!(Fleet::new(0).jobs() >= 1);
+        assert!(Fleet::from_env().jobs() >= 1);
+    }
+
+    #[test]
+    fn keep_queued_and_peak_actions_run() {
+        let cfg = ExperimentConfig::tiny_for_tests();
+        let points = vec![
+            ExperimentPoint::keep_queued(
+                "kq",
+                cfg.clone().experiment(|| EchoWorkload::with_think(150)),
+                4,
+            ),
+            ExperimentPoint::peak_with(
+                "pk",
+                cfg.run_options(crate::server::RunOptions {
+                    warmup_requests: 100,
+                    measure_requests: 400,
+                    max_cycles: 4_000_000_000,
+                    min_warmup_cycles: 0,
+                    min_measure_cycles: 0,
+                })
+                .experiment(|| EchoWorkload::with_think(150)),
+                PeakCriteria::default(),
+            ),
+        ];
+        let outcomes = Fleet::new(2).quiet().run(points);
+        assert!(outcomes[0].peak_rate.is_none());
+        assert!(outcomes[1].peak_rate.is_some());
+        assert!(outcomes.iter().all(|o| o.report.completed > 0));
+    }
+}

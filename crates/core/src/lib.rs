@@ -16,6 +16,11 @@
 //!   applications implement,
 //! * [`experiment`] — the p99-SLO rule of Appendix A and peak-throughput
 //!   search,
+//! * [`fleet`] — the parallel experiment runner: independent sweep points
+//!   fan out across a worker pool with per-point derived seeds, so results
+//!   are identical for any worker count,
+//! * [`profile`] — typed run-length profiles (full / fast / smoke)
+//!   replacing ad-hoc `SWEEPER_FAST` checks,
 //! * [`loadsweep`] — full load–latency ("hockey-stick") characterizations,
 //! * [`report`] — stable text rendering of run reports,
 //! * [`scenario`] — versionable `key = value` experiment descriptions.
@@ -37,7 +42,9 @@
 //! ```
 
 pub mod experiment;
+pub mod fleet;
 pub mod loadsweep;
+pub mod profile;
 pub mod os;
 pub mod report;
 pub mod scenario;

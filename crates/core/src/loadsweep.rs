@@ -8,6 +8,7 @@
 //! plotting or CSV export.
 
 use crate::experiment::Experiment;
+use crate::fleet::Fleet;
 use crate::server::RunReport;
 use sweeper_sim::stats::TrafficClass;
 use sweeper_sim::Cycle;
@@ -134,6 +135,30 @@ impl LoadSweep {
         Self { points }
     }
 
+    /// Runs `experiment` at every rate of `grid`, fanning the rates out
+    /// across `fleet`'s workers.
+    ///
+    /// Every rate reuses the experiment's own seed — exactly like the
+    /// sequential [`LoadSweep::run`] — so the two produce identical points
+    /// for any worker count. The saturation early-exit is unavailable here
+    /// (later rates start before earlier ones finish); callers who want it
+    /// should bound the grid instead.
+    pub fn run_parallel(experiment: &Experiment, grid: &RateGrid, fleet: &Fleet) -> Self {
+        let tasks: Vec<_> = grid
+            .rates()
+            .iter()
+            .map(|&rate| {
+                move || {
+                    let report = experiment.run_at_rate(rate);
+                    LoadPoint::from_report(rate, &report)
+                }
+            })
+            .collect();
+        Self {
+            points: fleet.run_tasks(tasks),
+        }
+    }
+
     /// The measured points, in offered-rate order.
     pub fn points(&self) -> &[LoadPoint] {
         &self.points
@@ -143,8 +168,7 @@ impl LoadSweep {
     pub fn peak_under_slo(&self, slo: Cycle) -> Option<&LoadPoint> {
         self.points
             .iter()
-            .filter(|p| p.latency_p99 <= slo && p.goodput_ratio >= 0.9)
-            .last()
+            .rfind(|p| p.latency_p99 <= slo && p.goodput_ratio >= 0.9)
     }
 
     /// The knee: the first point whose p99 at least doubled relative to the
@@ -240,6 +264,15 @@ mod tests {
         let first = sweep.points().first().unwrap();
         let last = sweep.points().last().unwrap();
         assert!(last.latency_p99 >= first.latency_p99);
+    }
+
+    #[test]
+    fn parallel_sweep_matches_sequential() {
+        let exp = tiny_experiment();
+        let grid = RateGrid::geometric(0.5e6, 8.0e6, 5);
+        let sequential = LoadSweep::run(&exp, &grid, false);
+        let parallel = LoadSweep::run_parallel(&exp, &grid, &Fleet::new(4));
+        assert_eq!(sequential.to_csv(), parallel.to_csv());
     }
 
     #[test]

@@ -279,11 +279,13 @@ mod tests {
 
     #[test]
     fn round_trips_through_text() {
-        let mut s = Scenario::default();
-        s.workload = ScenarioWorkload::Synthetic;
-        s.sweeper = SweeperMode::Enabled;
-        s.buffers = 777;
-        s.rate_mrps = 12.25;
+        let s = Scenario {
+            workload: ScenarioWorkload::Synthetic,
+            sweeper: SweeperMode::Enabled,
+            buffers: 777,
+            rate_mrps: 12.25,
+            ..Scenario::default()
+        };
         let reparsed = Scenario::parse(&s.to_text()).unwrap();
         assert_eq!(reparsed, s);
     }

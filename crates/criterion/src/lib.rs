@@ -1,0 +1,258 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the API subset the workspace's benches use, measuring with
+//! `std::time::Instant` and printing one line per benchmark:
+//!
+//! ```text
+//! cache/llc_lookup_hit      time:  41.2 ns/iter   24.3 Melem/s
+//! ```
+//!
+//! Differences from upstream: no statistical analysis, no plots, no
+//! baseline comparison — a median over a few fixed samples. `--test` (what
+//! cargo passes under `cargo test`) runs each benchmark once as a smoke
+//! check. `CRITERION_SAMPLE_MS` overrides the per-sample time budget.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benched code.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Work-per-iteration declaration used to derive a rate from the timing.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier for a parameterized benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Uses the parameter's `Display` form as the benchmark name.
+    pub fn from_parameter<P: std::fmt::Display>(p: P) -> Self {
+        Self(p.to_string())
+    }
+
+    /// A `name/parameter` id.
+    pub fn new<P: std::fmt::Display>(name: &str, p: P) -> Self {
+        Self(format!("{name}/{p}"))
+    }
+}
+
+/// The timing driver handed to benchmark closures.
+pub struct Bencher {
+    /// Measured duration of the iteration loop (filled by [`Bencher::iter`]).
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `iters` calls of `f`.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Top-level handle, mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Criterion {
+    fn from_args() -> Self {
+        Self {
+            test_mode: std::env::args().any(|a| a == "--test"),
+        }
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            throughput: None,
+            sample_size: 5,
+            test_mode: self.test_mode,
+            _parent: std::marker::PhantomData,
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and throughput declaration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+    test_mode: bool,
+    _parent: std::marker::PhantomData<&'a ()>,
+}
+
+fn sample_budget() -> Duration {
+    let ms = std::env::var("CRITERION_SAMPLE_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(100u64);
+    Duration::from_millis(ms)
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the work performed per iteration.
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    /// Sets the number of timing samples (upstream-compatible knob; the
+    /// shim clamps it to a handful since it reports a median, not a curve).
+    pub fn sample_size(&mut self, n: usize) {
+        self.sample_size = n.clamp(2, 10);
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(name, &mut f);
+    }
+
+    /// Runs one parameterized benchmark.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(&id.0.clone(), &mut |b: &mut Bencher| f(b, input));
+    }
+
+    fn run(&mut self, name: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        let full = format!("{}/{}", self.name, name);
+        if self.test_mode {
+            let mut b = Bencher { elapsed: Duration::ZERO, iters: 1 };
+            f(&mut b);
+            println!("{full}: ok (smoke, 1 iter)");
+            return;
+        }
+
+        // Calibrate: grow the iteration count until one sample fills the
+        // per-sample budget.
+        let budget = sample_budget();
+        let mut iters = 1u64;
+        let mut b = Bencher { elapsed: Duration::ZERO, iters };
+        loop {
+            b.iters = iters;
+            f(&mut b);
+            if b.elapsed >= budget || iters >= 1 << 30 {
+                break;
+            }
+            let grow = if b.elapsed.is_zero() {
+                16
+            } else {
+                (budget.as_secs_f64() / b.elapsed.as_secs_f64()).ceil().min(16.0) as u64
+            };
+            iters = iters.saturating_mul(grow.max(2));
+        }
+
+        let mut samples: Vec<f64> = (0..self.sample_size)
+            .map(|_| {
+                b.iters = iters;
+                f(&mut b);
+                b.elapsed.as_secs_f64() / iters as f64
+            })
+            .collect();
+        samples.sort_by(f64::total_cmp);
+        let median = samples[samples.len() / 2];
+
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) => format!("  {}elem/s", si(n as f64 / median)),
+            Some(Throughput::Bytes(n)) => format!("  {}B/s", si(n as f64 / median)),
+            None => String::new(),
+        };
+        println!("{full:<44} time: {:>10}/iter{rate}", fmt_time(median));
+    }
+
+    /// Ends the group (output is already printed; kept for API parity).
+    pub fn finish(self) {}
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.1} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.2} s")
+    }
+}
+
+fn si(v: f64) -> String {
+    if v >= 1e9 {
+        format!("{:.2} G", v / 1e9)
+    } else if v >= 1e6 {
+        format!("{:.2} M", v / 1e6)
+    } else if v >= 1e3 {
+        format!("{:.2} k", v / 1e3)
+    } else {
+        format!("{v:.1} ")
+    }
+}
+
+/// Declares a benchmark group runner (API-compatible subset).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::__from_args();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+impl Criterion {
+    /// Internal constructor used by `criterion_group!`.
+    #[doc(hidden)]
+    pub fn __from_args() -> Self {
+        Self::from_args()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timing_reports_are_formatted() {
+        assert!(fmt_time(5e-9).contains("ns"));
+        assert!(fmt_time(5e-5).contains("µs"));
+        assert!(fmt_time(5e-2).contains("ms"));
+        assert!(si(2.5e6).contains('M'));
+    }
+
+    #[test]
+    fn bencher_runs_the_closure() {
+        let mut count = 0u64;
+        let mut b = Bencher { elapsed: Duration::ZERO, iters: 10 };
+        b.iter(|| count += 1);
+        assert_eq!(count, 10);
+    }
+}

@@ -168,7 +168,6 @@ mod tests {
         d.add_sharer(B, 5); // idempotent
         assert_eq!(d.sharers(B), vec![1, 5]);
         assert!(d.shared_elsewhere(B, 1));
-        assert!(!d.shared_elsewhere(B, 1) == false);
         d.remove_sharer(B, 1);
         assert_eq!(d.sharers(B), vec![5]);
         assert!(!d.shared_elsewhere(B, 5));

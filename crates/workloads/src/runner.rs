@@ -60,10 +60,12 @@ mod tests {
 
     #[test]
     fn options_wrap_the_rings() {
-        let mut s = Scenario::default();
-        s.cores = 4;
-        s.buffers = 100;
-        s.endpoints = 2;
+        let mut s = Scenario {
+            cores: 4,
+            buffers: 100,
+            endpoints: 2,
+            ..Scenario::default()
+        };
         let opts = run_options_for(&s, 1_000);
         assert_eq!(opts.warmup_requests, 4 * 2 * 100 * 12 / 10);
         assert_eq!(opts.measure_requests, 1_000);

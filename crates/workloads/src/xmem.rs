@@ -118,7 +118,7 @@ impl BackgroundTenant for Xmem {
             .map(|_| base.offset(env.rng().next_u64_in(blocks) * BLOCK_BYTES))
             .collect();
         env.read_scatter(addrs);
-        env.compute(self.cfg.compute_per_access as u64 * self.cfg.accesses_per_step as u64);
+        env.compute(self.cfg.compute_per_access * self.cfg.accesses_per_step as u64);
         self.iterations += 1;
     }
 }

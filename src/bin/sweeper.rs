@@ -4,9 +4,11 @@
 //! flags, without writing a driver program:
 //!
 //! ```text
-//! sweeper run   --rate 20 --workload kvs --ddio 2 --sweeper
-//! sweeper peak  --workload kvs --buffers 2048 --channels 3
-//! sweeper sweep --lo 5 --hi 60 --points 8 --workload l3fwd
+//! sweeper run     --rate 20 --workload kvs --ddio 2 --sweeper
+//! sweeper peak    --workload kvs --buffers 2048 --channels 3
+//! sweeper sweep   --lo 5 --hi 60 --points 8 --workload l3fwd --jobs 8
+//! sweeper figures
+//! sweeper figure fig5 --jobs 8 --profile fast
 //! sweeper info
 //! ```
 //!
@@ -14,8 +16,11 @@
 
 use std::process::ExitCode;
 
+use sweeper::bench::{run_figure, FigContext};
 use sweeper::core::experiment::{Experiment, ExperimentConfig, PeakCriteria};
+use sweeper::core::fleet::Fleet;
 use sweeper::core::loadsweep::{LoadSweep, RateGrid};
+use sweeper::core::profile::RunProfile;
 use sweeper::core::report::{render, ReportStyle};
 use sweeper::core::scenario::{Scenario, ScenarioWorkload};
 use sweeper::core::server::{RunOptions, RunReport, SweeperMode};
@@ -34,6 +39,8 @@ COMMANDS:
     run      simulate one operating point and print its report
     peak     search the peak sustainable throughput under the p99 SLO
     sweep    run a load-latency sweep and print CSV
+    figures  list the paper figures the registry can regenerate
+    figure <NAME>  regenerate one figure (table1, fig1..fig10, ablations)
     info     print the simulated machine (Table I)
     help     show this text
 
@@ -52,6 +59,11 @@ FLAGS (all optional):
     --requests <N>                     measured requests     [20000]
     --rate <MRPS>                      offered load (run)    [20]
     --lo/--hi <MRPS>, --points <N>     sweep grid            [2..60, 8]
+    --jobs <N>                         worker threads for sweep/figure
+                                       [SWEEPER_JOBS or all cores]
+    --profile <full|fast|smoke>        figure run lengths
+                                       [SWEEPER_PROFILE, or fast if
+                                       SWEEPER_FAST is set]
     --zero-copy                        l3fwd transmits in place
     --scenario <FILE>                  load a key=value scenario file first;
                                        later flags override its values
@@ -60,6 +72,10 @@ FLAGS (all optional):
 #[derive(Debug, Clone)]
 struct Cli {
     command: String,
+    /// Positional argument of `figure <NAME>`.
+    figure: Option<String>,
+    jobs: Option<usize>,
+    profile: Option<RunProfile>,
     workload: String,
     policy: InjectionPolicy,
     ddio: u32,
@@ -84,6 +100,9 @@ impl Default for Cli {
     fn default() -> Self {
         Self {
             command: "help".into(),
+            figure: None,
+            jobs: None,
+            profile: None,
             workload: "kvs".into(),
             policy: InjectionPolicy::Ddio,
             ddio: 2,
@@ -140,6 +159,14 @@ fn parse(args: &[String]) -> Result<Cli, String> {
     }
     let mut it = args.iter();
     cli.command = it.next().cloned().unwrap_or_else(|| "help".into());
+    if cli.command == "figure" {
+        cli.figure = Some(
+            it.next()
+                .filter(|a| !a.starts_with("--"))
+                .cloned()
+                .ok_or_else(|| "command `figure` needs a name (see `sweeper figures`)".to_string())?,
+        );
+    }
     while let Some(flag) = it.next() {
         let mut value = |name: &str| -> Result<String, String> {
             it.next()
@@ -170,6 +197,8 @@ fn parse(args: &[String]) -> Result<Cli, String> {
             "--lo" => cli.lo = fnum(&value(flag)?)?,
             "--hi" => cli.hi = fnum(&value(flag)?)?,
             "--points" => cli.points = num(&value(flag)?)?,
+            "--jobs" => cli.jobs = Some(num(&value(flag)?)?),
+            "--profile" => cli.profile = Some(value(flag)?.parse()?),
             "--zero-copy" => cli.zero_copy = true,
             "--scenario" => cli.scenario = Some(value(flag)?),
             other => return Err(format!("unknown flag '{other}' (see `sweeper help`)")),
@@ -231,6 +260,18 @@ fn build_experiment(cli: &Cli) -> Result<Experiment, String> {
 
 fn print_report(report: &RunReport) {
     print!("{}", render(report, ReportStyle::default()));
+}
+
+/// Resolves the fleet/profile context: environment first, flags override.
+fn fig_context(cli: &Cli) -> FigContext {
+    let mut ctx = FigContext::from_env();
+    if let Some(jobs) = cli.jobs {
+        ctx.fleet = Fleet::new(jobs);
+    }
+    if let Some(profile) = cli.profile {
+        ctx.profile = profile;
+    }
+    ctx
 }
 
 fn main() -> ExitCode {
@@ -311,7 +352,15 @@ fn main() -> ExitCode {
         "sweep" => match build_experiment(&cli) {
             Ok(exp) => {
                 let grid = RateGrid::geometric(cli.lo * 1e6, cli.hi * 1e6, cli.points);
-                let sweep = LoadSweep::run(&exp, &grid, true);
+                let fleet = fig_context(&cli).fleet;
+                // The parallel path runs the whole grid (no saturation
+                // early-exit); keep the sequential path's behavior when a
+                // single worker is requested.
+                let sweep = if fleet.jobs() > 1 {
+                    LoadSweep::run_parallel(&exp, &grid, &fleet)
+                } else {
+                    LoadSweep::run(&exp, &grid, true)
+                };
                 print!("{}", sweep.to_csv());
                 if let Some(knee) = sweep.knee() {
                     eprintln!("knee at ~{:.1} Mrps offered", knee.offered_rate / 1e6);
@@ -323,6 +372,23 @@ fn main() -> ExitCode {
                 ExitCode::FAILURE
             }
         },
+        "figures" => {
+            println!("{:<10} Table I — simulated machine parameters", "table1");
+            for figure in sweeper::bench::figs::registry() {
+                println!("{:<10} {}", figure.name(), figure.description());
+            }
+            ExitCode::SUCCESS
+        }
+        "figure" => {
+            let name = cli.figure.clone().expect("parser enforces the name");
+            match run_figure(&name, &fig_context(&cli)) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
         other => {
             eprintln!("error: unknown command '{other}' (see `sweeper help`)");
             ExitCode::FAILURE

@@ -19,7 +19,9 @@
 //!   NIC-driven TX sweeping), the server system model, and the experiment
 //!   harness,
 //! * [`workloads`] — the paper's applications (MICA-style KVS, L3 forwarder
-//!   NF, X-Mem) and traffic distributions.
+//!   NF, X-Mem) and traffic distributions,
+//! * [`bench`] — the figure registry and the parallel harness that
+//!   regenerates every table and figure of the paper.
 //!
 //! ## Quickstart
 //!
@@ -45,6 +47,7 @@
 //! See `examples/` for end-to-end scenarios and `crates/bench` for the
 //! binaries that regenerate every figure of the paper.
 
+pub use sweeper_bench as bench;
 pub use sweeper_core as core;
 pub use sweeper_nic as nic;
 pub use sweeper_sim as sim;
