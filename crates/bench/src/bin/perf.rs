@@ -1,0 +1,179 @@
+//! End-to-end simulator-throughput benchmark (`BENCH_sim.json`).
+//!
+//! Measures how fast the *host* simulates the paper's Figure-1 KVS scenario
+//! (DDIO 2 ways, 1 KB items, 1024 RX buffers/core, 24 cores, 15 Mrps — a
+//! stable operating point below the configuration's peak), reporting
+//! **simulated block accesses per wall-clock second**. This is the
+//! simulator's own speed, the quantity that decides how much of the paper's
+//! evaluation fits in a CI budget; the perf-trajectory artifact
+//! `BENCH_sim.json` tracks it across PRs.
+//!
+//! ```text
+//! perf [--profile fast|smoke] [--json PATH]      # measure and write JSON
+//! perf --check PATH [--max-regress PCT]          # CI gate: compare against
+//!                                                # the committed baseline
+//! ```
+//!
+//! `--check` re-measures under the profile recorded in `PATH` for the same
+//! scenario and fails (exit 1) if accesses/sec regressed by more than
+//! `--max-regress` percent (default 20). Simulation *outputs* are
+//! deterministic; only wall time varies between hosts, hence the generous
+//! tolerance.
+
+use std::time::Instant;
+
+use sweeper_bench::SystemPoint;
+use sweeper_core::experiment::ExperimentConfig;
+use sweeper_core::profile::RunProfile;
+use sweeper_core::server::{RunOptions, RunReport};
+use sweeper_workloads::kvs::{KvsConfig, MicaKvs, HEADER_BYTES};
+
+/// Fixed Poisson rate: below the DDIO-2-way rx=1024 peak (~26 Mrps in
+/// `results/fig1a.csv`) so queues stay bounded and run length is stable.
+const RATE: f64 = 15.0e6;
+
+/// Measured requests per profile. Warmup is folded into the measured window
+/// (warmup 0) so every simulated access is counted against wall time.
+fn requests(profile: RunProfile) -> u64 {
+    match profile {
+        RunProfile::Full | RunProfile::Fast => 24_000,
+        RunProfile::Smoke => 4_000,
+    }
+}
+
+/// One measured point of the perf trajectory.
+struct Measurement {
+    profile: RunProfile,
+    wall_secs: f64,
+    accesses: u64,
+    completed: u64,
+    accesses_per_sec: f64,
+}
+
+fn run_once(profile: RunProfile) -> (RunReport, f64) {
+    // Same machine/workload as `kvs_experiment(profile, ddio(2), 1024, 1024, 4)`
+    // but with warmup folded into the measured window so every simulated
+    // access counts against wall time.
+    let kvs_cfg = KvsConfig::paper_default().with_item_bytes(1024);
+    let exp = SystemPoint::ddio(2)
+        .apply(
+            ExperimentConfig::paper_default()
+                .rx_buffers_per_core(1024)
+                .packet_bytes(1024 + HEADER_BYTES)
+                .channels(4)
+                .run_options(RunOptions {
+                    warmup_requests: 0,
+                    measure_requests: requests(profile),
+                    max_cycles: 120_000_000_000,
+                    min_warmup_cycles: 0,
+                    min_measure_cycles: 0,
+                }),
+        )
+        .experiment(move || MicaKvs::new(kvs_cfg));
+    let t = Instant::now();
+    let report = exp.run_at_rate(RATE);
+    (report, t.elapsed().as_secs_f64())
+}
+
+fn measure(profile: RunProfile) -> Measurement {
+    let (report, wall) = run_once(profile);
+    assert!(!report.timed_out, "perf scenario must complete its quota");
+    let accesses = report.mem.block_accesses;
+    Measurement {
+        profile,
+        wall_secs: wall,
+        accesses,
+        completed: report.completed,
+        accesses_per_sec: accesses as f64 / wall,
+    }
+}
+
+fn to_json(m: &Measurement) -> String {
+    format!(
+        "{{\n  \"bench\": \"fig1_kvs_e2e\",\n  \"scenario\": \"KVS ddio2 rx=1024 1KB items, 24 cores, 15 Mrps\",\n  \"metric\": \"simulated block accesses per host second\",\n  \"profile\": \"{}\",\n  \"requests\": {},\n  \"simulated_block_accesses\": {},\n  \"wall_seconds\": {:.3},\n  \"accesses_per_sec\": {:.0}\n}}\n",
+        m.profile, m.completed, m.accesses, m.wall_secs, m.accesses_per_sec
+    )
+}
+
+/// Minimal field extraction — the file is machine-written by this binary.
+fn json_field(text: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\":");
+    let rest = &text[text.find(&pat)? + pat.len()..];
+    let rest = rest.trim_start();
+    let end = rest.find([',', '\n', '}'])?;
+    Some(rest[..end].trim().trim_matches('"').to_string())
+}
+
+fn main() {
+    let mut profile = RunProfile::from_env();
+    if matches!(profile, RunProfile::Full) {
+        // Full-profile figure runs make sense; a full-profile *perf probe*
+        // just wastes CI minutes. Fast is the trajectory's reference scale.
+        profile = RunProfile::Fast;
+    }
+    let mut json_path: Option<String> = None;
+    let mut check_path: Option<String> = None;
+    let mut max_regress = 20.0f64;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--profile" => {
+                let v = args.next().expect("--profile needs a value");
+                profile = v.parse().unwrap_or_else(|e| panic!("{e}"));
+            }
+            "--json" => json_path = Some(args.next().expect("--json needs a path")),
+            "--check" => check_path = Some(args.next().expect("--check needs a path")),
+            "--max-regress" => {
+                max_regress = args
+                    .next()
+                    .expect("--max-regress needs a value")
+                    .parse()
+                    .expect("--max-regress must be a number");
+            }
+            other => {
+                eprintln!("unknown flag '{other}' (perf takes --profile, --json, --check, --max-regress)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    if let Some(path) = check_path {
+        let committed = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+        let base_rate: f64 = json_field(&committed, "accesses_per_sec")
+            .and_then(|v| v.parse().ok())
+            .expect("baseline is missing accesses_per_sec");
+        let base_profile: RunProfile = json_field(&committed, "profile")
+            .and_then(|v| v.parse().ok())
+            .expect("baseline is missing profile");
+        let m = measure(base_profile);
+        let delta = (m.accesses_per_sec / base_rate - 1.0) * 100.0;
+        println!(
+            "perf check [{}]: {:.2} M accesses/s vs baseline {:.2} M ({:+.1}%)",
+            base_profile,
+            m.accesses_per_sec / 1e6,
+            base_rate / 1e6,
+            delta
+        );
+        if delta < -max_regress {
+            eprintln!("FAIL: simulator throughput regressed more than {max_regress}%");
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    let m = measure(profile);
+    println!(
+        "fig1_kvs_e2e [{}]: {} simulated accesses in {:.2}s = {:.2} M accesses/s ({} requests)",
+        m.profile,
+        m.accesses,
+        m.wall_secs,
+        m.accesses_per_sec / 1e6,
+        m.completed
+    );
+    if let Some(path) = json_path {
+        std::fs::write(&path, to_json(&m)).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        println!("wrote {path}");
+    }
+}

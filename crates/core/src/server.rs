@@ -377,6 +377,12 @@ impl Server {
         let assigner = CoreAssigner::new(cfg.assignment, cfg.active_cores, root_rng.fork());
         let wl_rng = root_rng.fork();
         let cores = cfg.machine.cores;
+        // Event population is bounded by the cores in flight (one CoreStep
+        // each, active + background) plus the single pending Arrival; ring
+        // depths bound how much work can queue behind them. Reserving that
+        // up front keeps `EventQueue::push` reallocation-free for the whole
+        // run.
+        let event_capacity = (cores + 1) + cfg.rx_entries + cfg.tx_entries;
         Self {
             busy: vec![false; cfg.active_cores as usize],
             active: (0..cfg.active_cores).map(|_| None).collect(),
@@ -392,7 +398,7 @@ impl Server {
             arrivals,
             assigner,
             wl_rng,
-            events: EventQueue::new(),
+            events: EventQueue::with_capacity(event_capacity),
             measuring: false,
             opts: RunOptions::default(),
             warmup_left: 0,

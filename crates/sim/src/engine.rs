@@ -161,6 +161,16 @@ impl<T> EventQueue<T> {
         }
     }
 
+    /// Creates an empty queue with pre-reserved heap capacity, so a
+    /// `push`-heavy simulation loop whose population bound is known up
+    /// front never reallocates mid-run.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            heap: BinaryHeap::with_capacity(capacity),
+            seq: 0,
+        }
+    }
+
     /// Schedules `payload` at cycle `at`.
     pub fn push(&mut self, at: Cycle, payload: T) {
         let seq = self.seq;

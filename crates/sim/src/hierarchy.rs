@@ -21,7 +21,7 @@
 use std::ops::Range;
 
 use crate::addr::{blocks_of, Addr, AddressMap, BlockAddr, RegionKind};
-use crate::cache::{CacheGeometry, LineOrigin, ReplacementPolicy, SetAssocCache, WayMask};
+use crate::cache::{CacheGeometry, Evicted, Line, LineOrigin, ReplacementPolicy, SetAssocCache, WayMask};
 use crate::coherence::Directory;
 use crate::dram::{Dram, DramConfig, DramOp};
 use crate::stats::{MemStats, TrafficClass};
@@ -203,6 +203,68 @@ pub struct NicAccess {
     pub dram_transfers: u64,
 }
 
+/// Incremental per-[`RegionKind`] LLC occupancy counters, updated on every
+/// LLC insert/evict/invalidate so occupancy queries never scan the cache.
+///
+/// Kinds index a flat vector: `App` = 0, `Other` = 1, then `Rx`/`Tx`
+/// interleaved per core — at most `2 + 2 * MAX_CORES` entries, grown on
+/// demand.
+#[derive(Debug, Clone, Default)]
+struct OccupancyCounters {
+    counts: Vec<u64>,
+}
+
+impl OccupancyCounters {
+    fn idx(kind: RegionKind) -> usize {
+        match kind {
+            RegionKind::App => 0,
+            RegionKind::Other => 1,
+            RegionKind::Rx { core } => 2 + 2 * core as usize,
+            RegionKind::Tx { core } => 3 + 2 * core as usize,
+        }
+    }
+
+    fn kind_of(idx: usize) -> RegionKind {
+        match idx {
+            0 => RegionKind::App,
+            1 => RegionKind::Other,
+            i if i % 2 == 0 => RegionKind::Rx {
+                core: (i as u16 - 2) / 2,
+            },
+            i => RegionKind::Tx {
+                core: (i as u16 - 3) / 2,
+            },
+        }
+    }
+
+    fn add(&mut self, kind: RegionKind) {
+        let i = Self::idx(kind);
+        if self.counts.len() <= i {
+            self.counts.resize(i + 1, 0);
+        }
+        self.counts[i] += 1;
+    }
+
+    fn sub(&mut self, kind: RegionKind) {
+        let i = Self::idx(kind);
+        debug_assert!(
+            self.counts.get(i).is_some_and(|&c| c > 0),
+            "occupancy underflow for {kind}"
+        );
+        self.counts[i] -= 1;
+    }
+
+    fn total_matching(&self, pred: impl Fn(RegionKind) -> bool) -> u64 {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .filter(|&(i, _)| pred(Self::kind_of(i)))
+            .map(|(_, &c)| c)
+            .sum()
+    }
+}
+
 /// The simulated memory system.
 ///
 /// See the [crate-level documentation](crate) for an end-to-end example.
@@ -212,6 +274,7 @@ pub struct MemorySystem {
     l1: Vec<SetAssocCache>,
     l2: Vec<SetAssocCache>,
     llc: SetAssocCache,
+    llc_occ: OccupancyCounters,
     dir: Directory,
     dram: Dram,
     stats: MemStats,
@@ -243,6 +306,7 @@ impl MemorySystem {
             l1,
             l2,
             llc: SetAssocCache::with_policy(cfg.llc, cfg.llc_replacement),
+            llc_occ: OccupancyCounters::default(),
             dir: Directory::new(),
             dram: Dram::new(cfg.dram),
             stats: MemStats::new(),
@@ -377,6 +441,37 @@ impl MemorySystem {
         stall
     }
 
+    /// LLC insert that keeps the per-region occupancy counters in sync.
+    /// All LLC residency changes must go through this or
+    /// [`MemorySystem::llc_invalidate`].
+    fn llc_insert(
+        &mut self,
+        block: BlockAddr,
+        dirty: bool,
+        origin: LineOrigin,
+        mask: WayMask,
+    ) -> Option<Evicted> {
+        let before = self.llc.resident_lines();
+        let ev = self.llc.insert(block, dirty, origin, mask);
+        if let Some(e) = &ev {
+            self.llc_occ.add(self.map.classify_block(block));
+            self.llc_occ.sub(self.map.classify_block(e.line.block));
+        } else if self.llc.resident_lines() > before {
+            self.llc_occ.add(self.map.classify_block(block));
+        }
+        // else: in-place update of a resident block — occupancy unchanged.
+        ev
+    }
+
+    /// LLC invalidate that keeps the per-region occupancy counters in sync.
+    fn llc_invalidate(&mut self, block: BlockAddr) -> Option<Line> {
+        let line = self.llc.invalidate(block);
+        if line.is_some() {
+            self.llc_occ.sub(self.map.classify_block(block));
+        }
+        line
+    }
+
     /// Installs a block into the LLC (victim path / DDIO allocation),
     /// handling the displaced victim's writeback. Returns the write-path
     /// stall to charge to the triggering access.
@@ -388,7 +483,7 @@ impl MemorySystem {
         mask: WayMask,
         now: Cycle,
     ) -> Cycle {
-        if let Some(ev) = self.llc.insert(block, dirty, origin, mask) {
+        if let Some(ev) = self.llc_insert(block, dirty, origin, mask) {
             if ev.line.origin == LineOrigin::Nic && ev.line.dirty {
                 match origin {
                     LineOrigin::Nic => self.stats.nic_lines_evicted_by_nic += 1,
@@ -431,6 +526,11 @@ impl MemorySystem {
         let c = core as usize;
         let mut stall = 0;
         if let Some(ev) = self.l2[c].insert(block, dirty, LineOrigin::Cpu, WayMask::ALL) {
+            // The eviction chain probes the victim's directory slot and LLC
+            // set — addresses only known now. Start both loads before the L1
+            // back-invalidate so the two misses overlap instead of queueing.
+            self.dir.prefetch(ev.line.block);
+            self.llc.prefetch(ev.line.block);
             stall = self.handle_l2_eviction(core, ev.line.block, ev.line.dirty, now);
         }
         if let Some(ev) = self.l1[c].insert(block, dirty, LineOrigin::Cpu, WayMask::ALL) {
@@ -455,12 +555,22 @@ impl MemorySystem {
         write: bool,
     ) -> (Cycle, bool) {
         let c = core as usize;
-        let kind = self.map.classify_block(block);
+        self.stats.block_accesses += 1;
         let mut latency = self.cfg.l1.latency;
+        // Dirty-hit fast path: under the default non-inclusive LLC semantics
+        // every dirty private line was created by a write that also made this
+        // core the exclusive dirty owner, and any event that could add a
+        // sharer or transfer ownership (remote read/write, NIC overwrite,
+        // sweep) cleans or invalidates the private copy first. So a write
+        // that hits an already-dirty line needs no L2 dirty propagation, no
+        // remote-sharer resolution, and no directory update. The strict-
+        // victim ablation breaks the invariant (it installs dirty lines
+        // without claiming ownership), so it always takes the slow path.
+        let dirty_hit_exclusive = self.cfg.llc_read_hit_retains;
 
         // L1.
-        if self.l1[c].lookup(block).is_some() {
-            if write {
+        if let Some(line) = self.l1[c].lookup(block) {
+            if write && !(line.dirty && dirty_hit_exclusive) {
                 self.l1[c].mark_dirty(block);
                 self.l2[c].mark_dirty(block);
                 self.resolve_remote_sharers(core, block, now);
@@ -478,7 +588,7 @@ impl MemorySystem {
                     debug_assert!(present, "L1 ⊆ L2 inclusion violated");
                 }
             }
-            if write {
+            if write && !(line.dirty && dirty_hit_exclusive) {
                 self.l1[c].mark_dirty(block);
                 self.l2[c].mark_dirty(block);
                 self.resolve_remote_sharers(core, block, now);
@@ -487,7 +597,9 @@ impl MemorySystem {
             return (latency, false);
         }
 
-        // Beyond the private caches: NoC hop + LLC lookup.
+        // Beyond the private caches: NoC hop + LLC lookup. Classification is
+        // deferred to here — the L1/L2 hits above never need it.
+        let kind = self.map.classify_block(block);
         latency += self.cfg.noc_latency + self.cfg.llc.latency;
 
         // Ideal-DDIO short-circuit: network blocks always "hit" in the
@@ -506,7 +618,7 @@ impl MemorySystem {
         if let Some(line) = self.llc.lookup(block) {
             self.stats.llc_hits += 1;
             if write {
-                self.llc.invalidate(block);
+                self.llc_invalidate(block);
                 latency += self.fill_private(core, block, line.dirty, now);
                 self.l1[c].mark_dirty(block);
                 self.l2[c].mark_dirty(block);
@@ -517,7 +629,7 @@ impl MemorySystem {
             } else {
                 // Strict-victim ablation: the hit migrates the line (and its
                 // dirty state) out of the LLC entirely.
-                self.llc.invalidate(block);
+                self.llc_invalidate(block);
                 latency += self.fill_private(core, block, line.dirty, now);
             }
             return (latency, false);
@@ -638,9 +750,25 @@ impl MemorySystem {
         }
     }
 
+    /// Prefetches the metadata a `cpu_block_access` for `block` will probe.
+    /// The probes form a serial dependency chain (L1 set, then L2 set, then
+    /// LLC set, then directory slot), each a likely host-memory stall;
+    /// issuing all of a range's prefetches before touching the first block
+    /// lets the host overlap the misses.
+    #[inline]
+    fn prefetch_block_metadata(&self, core: usize, block: BlockAddr) {
+        self.l1[core].prefetch(block);
+        self.l2[core].prefetch(block);
+        self.llc.prefetch(block);
+        self.dir.prefetch(block);
+    }
+
     fn range_access(&mut self, core: u16, addr: Addr, len: u64, now: Cycle, write: bool) -> Access {
         let mut out = Access::default();
         let mut max_block_latency = 0;
+        for block in blocks_of(addr, len) {
+            self.prefetch_block_metadata(core as usize, block);
+        }
         for block in blocks_of(addr, len) {
             let (lat, dram) = self.cpu_block_access(core, block, now, write);
             max_block_latency = max_block_latency.max(lat);
@@ -677,6 +805,9 @@ impl MemorySystem {
         assert!((core as usize) < self.cfg.cores, "core id out of range");
         let mut out = Access::default();
         let mut max_block_latency = 0;
+        for addr in addrs {
+            self.prefetch_block_metadata(core as usize, addr.block());
+        }
         for addr in addrs {
             let (lat, dram) = self.cpu_block_access(core, addr.block(), now, false);
             max_block_latency = max_block_latency.max(lat);
@@ -718,7 +849,12 @@ impl MemorySystem {
         self.trace_event(now, TraceKind::NicWrite, u16::MAX, addr.block(), crate::addr::blocks_for_len(len) as u32, 0);
         let mut out = NicAccess::default();
         for block in blocks_of(addr, len) {
+            self.llc.prefetch(block);
+            self.dir.prefetch(block);
+        }
+        for block in blocks_of(addr, len) {
             out.blocks += 1;
+            self.stats.block_accesses += 1;
             // The NIC fully overwrites the block: all CPU copies become
             // stale and are invalidated without writeback.
             for core in self.dir.drop_block(block) {
@@ -728,7 +864,7 @@ impl MemorySystem {
             match self.cfg.injection {
                 InjectionPolicy::Ideal => {}
                 InjectionPolicy::Dma => {
-                    self.llc.invalidate(block);
+                    self.llc_invalidate(block);
                     self.dram.access(block, now, DramOp::Write);
                     self.stats.dram_writes.bump(TrafficClass::NicRxWr);
                     out.dram_transfers += 1;
@@ -743,7 +879,7 @@ impl MemorySystem {
                     // private-cache spills would turn the whole LLC into a
                     // persistent ring cache, which neither real DDIO nor
                     // the paper's baseline exhibits.
-                    if let Some(old) = self.llc.invalidate(block) {
+                    if let Some(old) = self.llc_invalidate(block) {
                         if old.dirty {
                             self.stats.dirty_dropped_by_nic_overwrite += 1;
                         }
@@ -764,6 +900,7 @@ impl MemorySystem {
         let mut out = NicAccess::default();
         for block in blocks_of(addr, len) {
             out.blocks += 1;
+            self.stats.block_accesses += 1;
             let kind = self.map.classify_block(block);
             match self.cfg.injection {
                 InjectionPolicy::Ideal if Self::is_network(kind) => {}
@@ -775,9 +912,8 @@ impl MemorySystem {
                         self.dir.clear_dirty(block);
                         self.writeback(block, now);
                     } else if self.llc.peek(block).is_some_and(|l| l.dirty) {
-                        self.llc.invalidate(block);
-                        self.llc
-                            .insert(block, false, LineOrigin::Cpu, WayMask::ALL);
+                        self.llc_invalidate(block);
+                        self.llc_insert(block, false, LineOrigin::Cpu, WayMask::ALL);
                         self.writeback(block, now);
                     }
                     self.dram.access(block, now, DramOp::Read);
@@ -807,6 +943,7 @@ impl MemorySystem {
     /// is written back (`clsweep`, §V-B). Returns the number of dirty copies
     /// whose writeback was suppressed.
     pub fn sweep_block(&mut self, block: BlockAddr) -> u64 {
+        self.stats.block_accesses += 1;
         let mut saved = 0;
         for core in self.dir.drop_block(block) {
             let c = core as usize;
@@ -817,7 +954,7 @@ impl MemorySystem {
             }
             self.stats.swept_blocks += 1;
         }
-        if let Some(line) = self.llc.invalidate(block) {
+        if let Some(line) = self.llc_invalidate(block) {
             self.stats.swept_blocks += 1;
             if line.dirty {
                 saved += 1;
@@ -847,6 +984,7 @@ impl MemorySystem {
     pub fn flush_range(&mut self, addr: Addr, len: u64, now: Cycle) -> u64 {
         let mut written = 0;
         for block in blocks_of(addr, len) {
+            self.stats.block_accesses += 1;
             let mut dirty = false;
             if let Some(owner) = self.dir.dirty_owner(block) {
                 self.clean_private_copy(owner, block);
@@ -854,9 +992,8 @@ impl MemorySystem {
                 dirty = true;
             }
             if self.llc.peek(block).is_some_and(|l| l.dirty) {
-                self.llc.invalidate(block);
-                self.llc
-                    .insert(block, false, LineOrigin::Cpu, WayMask::ALL);
+                self.llc_invalidate(block);
+                self.llc_insert(block, false, LineOrigin::Cpu, WayMask::ALL);
                 dirty = true;
             }
             if dirty {
@@ -875,11 +1012,12 @@ impl MemorySystem {
     pub fn dma_zero_range(&mut self, addr: Addr, len: u64, now: Cycle) -> u64 {
         let mut written = 0;
         for block in blocks_of(addr, len) {
+            self.stats.block_accesses += 1;
             for core in self.dir.drop_block(block) {
                 self.invalidate_private_for_overwrite(core, block);
                 self.stats.invalidations += 1;
             }
-            self.llc.invalidate(block);
+            self.llc_invalidate(block);
             self.dram.access(block, now, DramOp::Write);
             self.stats
                 .dram_writes
@@ -889,13 +1027,13 @@ impl MemorySystem {
         written
     }
 
-    /// LLC lines currently holding blocks of the given region kind
-    /// (diagnostics; O(LLC capacity)).
+    /// LLC lines currently holding blocks of the given region kind.
+    ///
+    /// O(region kinds), not O(LLC capacity): incremental counters are
+    /// maintained on every LLC insert/evict/invalidate, so periodic
+    /// occupancy sampling costs nothing per line.
     pub fn llc_occupancy_of(&self, pred: impl Fn(RegionKind) -> bool) -> u64 {
-        self.llc
-            .iter_lines()
-            .filter(|l| pred(self.map.classify_block(l.block)))
-            .count() as u64
+        self.llc_occ.total_matching(pred)
     }
 
     /// Whether a block is resident anywhere in the hierarchy (tests).

@@ -175,6 +175,11 @@ pub struct MemStats {
     /// Demand DRAM reads per requesting core (grown on demand) — the
     /// per-tenant bandwidth attribution used in collocation studies.
     pub dram_reads_by_core: Vec<u64>,
+    /// Simulated block-granularity memory operations processed (CPU block
+    /// accesses, NIC block reads/writes, sweeps, flushes). The denominator
+    /// of the simulator's own *host* throughput metric (`BENCH_sim.json`:
+    /// simulated accesses per wall-clock second).
+    pub block_accesses: u64,
 }
 
 impl MemStats {

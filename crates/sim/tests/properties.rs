@@ -8,7 +8,7 @@ use proptest::prelude::*;
 
 use sweeper_sim::addr::{blocks_of, Addr, AddressMap, BlockAddr, RegionKind};
 use sweeper_sim::cache::{CacheGeometry, LineOrigin, SetAssocCache, WayMask};
-use sweeper_sim::coherence::Directory;
+use sweeper_sim::coherence::{Directory, ReferenceDirectory};
 use sweeper_sim::dram::{Dram, DramConfig, DramOp};
 use sweeper_sim::stats::Histogram;
 
@@ -141,9 +141,61 @@ proptest! {
                 }
             }
             let expect: Vec<u16> = model.get(&block).map(|s| s.iter().copied().collect()).unwrap_or_default();
-            prop_assert_eq!(dir.sharers(b), expect);
+            prop_assert_eq!(dir.sharers(b).to_vec(), expect);
             if let Some(owner) = dir.dirty_owner(b) {
-                prop_assert!(dir.sharers(b).contains(&owner));
+                prop_assert!(dir.sharers(b).contains(owner));
+            }
+        }
+    }
+
+    /// Differential test: the open-addressed [`Directory`] must behave exactly
+    /// like the straightforward `HashMap`-backed [`ReferenceDirectory`] under
+    /// arbitrary interleavings of every mutating operation, including bulk
+    /// `drop_block` (which exercises backward-shift deletion chains).
+    #[test]
+    fn open_addressed_directory_matches_hashmap_reference(
+        ops in vec((0u64..96, 0u16..12, 0u8..5), 1..400)
+    ) {
+        let mut dir = Directory::new();
+        let mut reference = ReferenceDirectory::new();
+        for (block, core, op) in ops {
+            // Spread keys so several share a home slot under the Fibonacci
+            // hash (stride collisions) while others land far apart.
+            let b = BlockAddr(block << (block % 7));
+            match op {
+                0 => {
+                    dir.add_sharer(b, core);
+                    reference.add_sharer(b, core);
+                }
+                1 => {
+                    dir.remove_sharer(b, core);
+                    reference.remove_sharer(b, core);
+                }
+                2 => {
+                    dir.set_dirty_owner(b, core);
+                    reference.set_dirty_owner(b, core);
+                }
+                3 => {
+                    dir.clear_dirty(b);
+                    reference.clear_dirty(b);
+                }
+                _ => {
+                    prop_assert_eq!(
+                        dir.drop_block(b).to_vec(),
+                        reference.drop_block(b).to_vec()
+                    );
+                }
+            }
+            prop_assert_eq!(dir.sharers(b).to_vec(), reference.sharers(b).to_vec());
+            prop_assert_eq!(dir.dirty_owner(b), reference.dirty_owner(b));
+            prop_assert_eq!(dir.any_sharer(b), reference.any_sharer(b));
+            prop_assert_eq!(dir.tracked_blocks(), reference.tracked_blocks());
+            for ex in 0..12 {
+                prop_assert_eq!(
+                    dir.others(b, ex).to_vec(),
+                    reference.others(b, ex).to_vec()
+                );
+                prop_assert_eq!(dir.shared_elsewhere(b, ex), reference.shared_elsewhere(b, ex));
             }
         }
     }
