@@ -26,6 +26,7 @@ use sweeper_bench::SystemPoint;
 use sweeper_core::experiment::ExperimentConfig;
 use sweeper_core::profile::RunProfile;
 use sweeper_core::server::{RunOptions, RunReport};
+use sweeper_core::telemetry::Record;
 use sweeper_workloads::kvs::{KvsConfig, MicaKvs, HEADER_BYTES};
 
 /// Fixed Poisson rate: below the DDIO-2-way rx=1024 peak (~26 Mrps in
@@ -88,11 +89,20 @@ fn measure(profile: RunProfile) -> Measurement {
     }
 }
 
-fn to_json(m: &Measurement) -> String {
-    format!(
-        "{{\n  \"bench\": \"fig1_kvs_e2e\",\n  \"scenario\": \"KVS ddio2 rx=1024 1KB items, 24 cores, 15 Mrps\",\n  \"metric\": \"simulated block accesses per host second\",\n  \"profile\": \"{}\",\n  \"requests\": {},\n  \"simulated_block_accesses\": {},\n  \"wall_seconds\": {:.3},\n  \"accesses_per_sec\": {:.0}\n}}\n",
-        m.profile, m.completed, m.accesses, m.wall_secs, m.accesses_per_sec
-    )
+/// The perf-trajectory record, written through the shared telemetry JSON
+/// writer. Field names are the `BENCH_sim.json` contract [`json_field`]
+/// reads back; wall time and rate are rounded to the baseline's historical
+/// precision (ms, whole accesses/s) to keep diffs quiet.
+fn to_record(m: &Measurement) -> Record {
+    Record::new()
+        .with("bench", "fig1_kvs_e2e")
+        .with("scenario", "KVS ddio2 rx=1024 1KB items, 24 cores, 15 Mrps")
+        .with("metric", "simulated block accesses per host second")
+        .with("profile", m.profile.to_string())
+        .with("requests", m.completed)
+        .with("simulated_block_accesses", m.accesses)
+        .with("wall_seconds", (m.wall_secs * 1000.0).round() / 1000.0)
+        .with("accesses_per_sec", m.accesses_per_sec.round())
 }
 
 /// Minimal field extraction — the file is machine-written by this binary.
@@ -173,7 +183,8 @@ fn main() {
         m.completed
     );
     if let Some(path) = json_path {
-        std::fs::write(&path, to_json(&m)).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        let json = format!("{}\n", to_record(&m).to_json_pretty());
+        std::fs::write(&path, json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
         println!("wrote {path}");
     }
 }

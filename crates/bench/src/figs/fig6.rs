@@ -14,6 +14,7 @@
 use sweeper_core::fleet::{ExperimentPoint, PointOutcome};
 use sweeper_core::profile::RunProfile;
 use sweeper_core::server::RunReport;
+use sweeper_core::telemetry::{CsvTable, RunManifest};
 
 use super::Figure;
 use crate::{f1, kvs_experiment, FigContext, SystemPoint, Table};
@@ -29,29 +30,33 @@ pub fn configs() -> Vec<SystemPoint> {
 }
 
 fn latency_row(label: &str, report: &RunReport) -> Vec<String> {
-    let h = &report.dram_latency;
+    let s = report.dram_latency.summary();
     vec![
         label.to_string(),
         f1(report.throughput_mrps()),
-        format!("{:.0}", h.mean()),
-        h.percentile(0.5).to_string(),
-        h.percentile(0.9).to_string(),
-        h.percentile(0.99).to_string(),
-        h.max().to_string(),
+        format!("{:.0}", s.mean),
+        s.p50.to_string(),
+        s.p90.to_string(),
+        s.p99.to_string(),
+        s.max.to_string(),
     ]
 }
 
 fn emit_cdf(name: &str, label: &str, report: &RunReport) {
-    let dir = std::path::PathBuf::from("results");
-    if !dir.is_dir() {
-        return;
-    }
-    let mut csv = String::from("latency_cycles,cumulative_fraction\n");
+    let mut csv = CsvTable::new(&["latency_cycles", "cumulative_fraction"])
+        .comments(&RunManifest::new().to_comments())
+        .comment("artifact", name)
+        .comment("config", label);
     for (v, f) in report.dram_latency.cdf() {
-        csv.push_str(&format!("{v},{f:.6}\n"));
+        csv.row(vec![v.to_string(), format!("{f:.6}")]);
     }
     let safe = label.replace([' ', '+'], "_");
-    let _ = std::fs::write(dir.join(format!("{name}_{safe}.csv")), csv);
+    let path = std::path::PathBuf::from("results").join(format!("{name}_{safe}.csv"));
+    if let Err(e) = std::fs::create_dir_all("results")
+        .and_then(|()| std::fs::write(&path, csv.to_csv()))
+    {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    }
 }
 
 /// The §VI-B latency-CDF study.

@@ -4,10 +4,11 @@
 //! Each figure is a [`figs::Figure`] in the shared registry: it enumerates
 //! its sweep as self-describing
 //! [`ExperimentPoint`](sweeper_core::fleet::ExperimentPoint)s and renders
-//! the collected outcomes into the paper's tables (plus CSV files when a
-//! `results/` directory exists). The dedicated binaries in `src/bin/`
-//! (`fig1` … `fig10`, `table1`, `ablations`, `all`) all dispatch through
-//! [`run_figure`], so every figure inherits:
+//! the collected outcomes into the paper's tables, writing each one to
+//! `results/<name>.csv` plus a schema-tagged `results/<name>.json` sidecar
+//! (the directory is created on demand). The dedicated binaries in
+//! `src/bin/` (`fig1` … `fig10`, `table1`, `ablations`, `all`) all dispatch
+//! through [`run_figure`], so every figure inherits:
 //!
 //! * **parallelism** — points fan out across a
 //!   [`Fleet`](sweeper_core::fleet::Fleet) worker pool (`--jobs N` or
@@ -16,17 +17,23 @@
 //! * **run profiles** — `--profile full|fast|smoke` (or `SWEEPER_PROFILE`;
 //!   a non-empty legacy `SWEEPER_FAST` still selects `fast`) parsed once
 //!   into a typed [`RunProfile`],
+//! * **output formats** — `--format text|json|csv` selects how emitted
+//!   tables print to stdout; the on-disk artifacts are written regardless,
 //! * **timing** — per-point wall time on stderr and per-figure totals.
 
 pub mod figs;
 
 use std::fmt::Write as _;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicU8, Ordering};
 
 use sweeper_core::experiment::{Experiment, ExperimentConfig};
 use sweeper_core::fleet::Fleet;
 use sweeper_core::profile::RunProfile;
 use sweeper_core::server::{RunOptions, RunReport, SweeperMode};
+use sweeper_core::telemetry::{
+    document, CsvTable, OutputFormat, Record, RunManifest, Value, FIGURE_TABLE_SCHEMA,
+};
 use sweeper_sim::hierarchy::InjectionPolicy;
 use sweeper_sim::stats::TrafficClass;
 use sweeper_workloads::kvs::{KvsConfig, MicaKvs, HEADER_BYTES};
@@ -41,6 +48,9 @@ pub struct FigContext {
     pub profile: RunProfile,
     /// Worker pool the figure's points fan out across.
     pub fleet: Fleet,
+    /// Stdout format for emitted tables (`--format`). The CSV and JSON
+    /// artifacts under `results/` are written for every format.
+    pub format: OutputFormat,
 }
 
 impl FigContext {
@@ -50,12 +60,14 @@ impl FigContext {
         Self {
             profile: RunProfile::from_env(),
             fleet: Fleet::from_env(),
+            format: OutputFormat::Text,
         }
     }
 
     /// Context from the environment with command-line overrides — the
     /// shared flag parser of every figure binary. Recognized flags:
-    /// `--jobs N` and `--profile full|fast|smoke`.
+    /// `--jobs N`, `--profile full|fast|smoke`, and
+    /// `--format text|json|csv`.
     pub fn from_env_and_args<I: IntoIterator<Item = String>>(args: I) -> Result<Self, String> {
         let mut ctx = Self::from_env();
         let mut it = args.into_iter();
@@ -70,9 +82,13 @@ impl FigContext {
                     let v = it.next().ok_or("flag --profile needs a value")?;
                     ctx.profile = v.parse()?;
                 }
+                "--format" => {
+                    let v = it.next().ok_or("flag --format needs a value")?;
+                    ctx.format = v.parse()?;
+                }
                 other => {
                     return Err(format!(
-                        "unknown flag '{other}' (figure binaries take --jobs N and --profile full|fast|smoke)"
+                        "unknown flag '{other}' (figure binaries take --jobs N, --profile full|fast|smoke, and --format text|json|csv)"
                     ))
                 }
             }
@@ -84,6 +100,7 @@ impl FigContext {
 /// Runs one registered figure (or `table1`) under `ctx`. The single entry
 /// point behind every binary and the CLI's `figure` command.
 pub fn run_figure(name: &str, ctx: &FigContext) -> Result<(), String> {
+    set_stdout_format(ctx.format);
     if name == "table1" {
         figs::table1::run();
         return Ok(());
@@ -305,6 +322,31 @@ pub fn format_breakdown(report: &RunReport) -> String {
     out
 }
 
+/// Stdout format applied by [`Table::emit`], set once per process by
+/// [`run_figure`] from the parsed `--format` flag. A process-wide knob
+/// (rather than a parameter) so the figure implementations keep calling
+/// `table.emit(name)` without threading the context through every
+/// `render`.
+static STDOUT_FORMAT: AtomicU8 = AtomicU8::new(0);
+
+/// Sets the stdout format for every subsequent [`Table::emit`].
+pub fn set_stdout_format(format: OutputFormat) {
+    let v = match format {
+        OutputFormat::Text => 0,
+        OutputFormat::Json => 1,
+        OutputFormat::Csv => 2,
+    };
+    STDOUT_FORMAT.store(v, Ordering::Relaxed);
+}
+
+fn stdout_format() -> OutputFormat {
+    match STDOUT_FORMAT.load(Ordering::Relaxed) {
+        1 => OutputFormat::Json,
+        2 => OutputFormat::Csv,
+        _ => OutputFormat::Text,
+    }
+}
+
 /// Simple fixed-width table printer for the figure binaries.
 #[derive(Debug)]
 pub struct Table {
@@ -363,18 +405,64 @@ impl Table {
         out
     }
 
-    /// Prints the table to stdout and, if `results/` exists, writes
-    /// `results/<name>.csv`.
-    pub fn emit(&self, name: &str) {
-        println!("{}", self.render());
+    /// The table as manifest-commented CSV in the shared dialect.
+    pub fn to_csv(&self, name: &str) -> String {
+        let headers: Vec<&str> = self.headers.iter().map(String::as_str).collect();
+        let mut csv = CsvTable::new(&headers)
+            .comments(&RunManifest::new().to_comments())
+            .comment("artifact", name)
+            .comment("title", self.title.as_str());
+        for row in &self.rows {
+            csv.row(row.clone());
+        }
+        csv.to_csv()
+    }
+
+    /// The table as a schema-tagged JSON document — the `.json` sidecar
+    /// written next to each `.csv`.
+    pub fn to_document(&self, name: &str) -> Record {
+        let headers: Vec<Value> = self.headers.iter().map(|h| Value::from(h.as_str())).collect();
+        let rows: Vec<Value> = self
+            .rows
+            .iter()
+            .map(|row| {
+                Value::from(
+                    row.iter()
+                        .map(|c| Value::from(c.as_str()))
+                        .collect::<Vec<_>>(),
+                )
+            })
+            .collect();
+        let body = Record::new()
+            .with("name", name)
+            .with("title", self.title.as_str())
+            .with("headers", headers)
+            .with("rows", rows);
+        document(FIGURE_TABLE_SCHEMA, &RunManifest::new(), "table", body)
+    }
+
+    /// Writes `results/<name>.csv` and its `results/<name>.json` sidecar,
+    /// creating `results/` if needed.
+    pub fn write_artifacts(&self, name: &str) -> std::io::Result<()> {
         let dir = PathBuf::from("results");
-        if dir.is_dir() {
-            let mut csv = String::new();
-            let _ = writeln!(csv, "{}", self.headers.join(","));
-            for row in &self.rows {
-                let _ = writeln!(csv, "{}", row.join(","));
-            }
-            let _ = std::fs::write(dir.join(format!("{name}.csv")), csv);
+        std::fs::create_dir_all(&dir)?;
+        std::fs::write(dir.join(format!("{name}.csv")), self.to_csv(name))?;
+        let json = format!("{}\n", self.to_document(name).to_json_pretty());
+        std::fs::write(dir.join(format!("{name}.json")), json)?;
+        Ok(())
+    }
+
+    /// Prints the table to stdout (in the process-wide `--format`) and
+    /// writes the `results/` artifacts. Write failures are reported on
+    /// stderr rather than silently dropped.
+    pub fn emit(&self, name: &str) {
+        match stdout_format() {
+            OutputFormat::Text => println!("{}", self.render()),
+            OutputFormat::Json => println!("{}", self.to_document(name).to_json_pretty()),
+            OutputFormat::Csv => print!("{}", self.to_csv(name)),
+        }
+        if let Err(e) = self.write_artifacts(name) {
+            eprintln!("warning: could not write results/{name}.csv|json: {e}");
         }
     }
 }
@@ -441,13 +529,17 @@ mod tests {
     #[test]
     fn fig_context_parses_flags() {
         let ctx = FigContext::from_env_and_args(
-            ["--jobs", "3", "--profile", "smoke"].map(String::from),
+            ["--jobs", "3", "--profile", "smoke", "--format", "json"].map(String::from),
         )
         .unwrap();
         assert_eq!(ctx.fleet.jobs(), 3);
         assert_eq!(ctx.profile, RunProfile::Smoke);
+        assert_eq!(ctx.format, OutputFormat::Json);
         assert!(FigContext::from_env_and_args(["--bogus".to_string()]).is_err());
         assert!(FigContext::from_env_and_args(["--jobs".to_string()]).is_err());
+        assert!(
+            FigContext::from_env_and_args(["--format", "yaml"].map(String::from)).is_err()
+        );
     }
 
     #[test]
@@ -455,8 +547,36 @@ mod tests {
         let ctx = FigContext {
             profile: RunProfile::Smoke,
             fleet: Fleet::sequential().quiet(),
+            format: OutputFormat::Text,
         };
         let err = run_figure("fig99", &ctx).unwrap_err();
         assert!(err.contains("fig1"), "error should list figures: {err}");
+    }
+
+    #[test]
+    fn table_artifacts_share_the_manifest() {
+        let mut t = Table::new("demo, with comma", &["config", "Mrps"]);
+        t.row(vec!["DDIO 2 Ways".into(), "26.10".into()]);
+
+        let csv = t.to_csv("demo");
+        assert!(csv.starts_with("# tool: sweeper\n"));
+        assert!(csv.contains("# artifact: demo\n"));
+        assert!(csv.contains("# title: demo, with comma\n"));
+        assert!(csv.contains("\nconfig,Mrps\n"));
+        assert!(csv.ends_with("DDIO 2 Ways,26.10\n"));
+
+        let doc = t.to_document("demo");
+        assert_eq!(
+            doc.get("schema"),
+            Some(&Value::Str(FIGURE_TABLE_SCHEMA.into()))
+        );
+        let Some(Value::Record(table)) = doc.get("table") else {
+            panic!("missing table section");
+        };
+        assert_eq!(table.get("name"), Some(&Value::Str("demo".into())));
+        let Some(Value::Array(rows)) = table.get("rows") else {
+            panic!("missing rows");
+        };
+        assert_eq!(rows.len(), 1);
     }
 }

@@ -122,6 +122,14 @@ impl ExperimentConfig {
         self
     }
 
+    /// Enables in-run time-series sampling (see
+    /// [`SamplerConfig`](crate::server::SamplerConfig)); the resulting
+    /// reports carry a `timeseries`.
+    pub fn sampling(mut self, sampler: crate::server::SamplerConfig) -> Self {
+        self.server.sampler = Some(sampler);
+        self
+    }
+
     /// The configured RNG seed. The fleet runner treats this as the *base*
     /// seed and derives per-point seeds from it with [`seed_for_point`].
     pub fn base_seed(&self) -> u64 {

@@ -154,6 +154,23 @@ impl PointOutcome {
     pub fn throughput_mrps(&self) -> f64 {
         self.report.throughput_mrps()
     }
+
+    /// Structured export for the telemetry layer.
+    ///
+    /// Wall-clock time is deliberately excluded: fleet JSON must be
+    /// byte-identical for any `--jobs` value, and `wall` depends on host
+    /// scheduling. `peak_rate` appears only for peak points.
+    pub fn to_record(&self) -> sweeper_sim::telemetry::Record {
+        let mut rec = sweeper_sim::telemetry::Record::new().with("label", self.label.as_str());
+        if let Some(rate) = self.peak_rate {
+            rec.push("peak_rate", rate);
+        }
+        rec.push(
+            "report",
+            crate::report::json_record(&self.report, crate::report::ReportStyle::default()),
+        );
+        rec
+    }
 }
 
 /// A worker pool executing [`ExperimentPoint`]s.

@@ -22,7 +22,10 @@
 //! * [`profile`] — typed run-length profiles (full / fast / smoke)
 //!   replacing ad-hoc `SWEEPER_FAST` checks,
 //! * [`loadsweep`] — full load–latency ("hockey-stick") characterizations,
-//! * [`report`] — stable text rendering of run reports,
+//! * [`report`] — run-report rendering through pluggable sinks (stable
+//!   text, typed JSON, wide CSV — one traversal feeds all three),
+//! * [`telemetry`] — run manifests and schema-tagged JSON/CSV documents
+//!   over the shared value layer,
 //! * [`scenario`] — versionable `key = value` experiment descriptions.
 //!
 //! # Example
@@ -50,4 +53,5 @@ pub mod report;
 pub mod scenario;
 pub mod server;
 pub mod sweep;
+pub mod telemetry;
 pub mod workload;

@@ -11,6 +11,7 @@ use crate::experiment::Experiment;
 use crate::fleet::Fleet;
 use crate::server::RunReport;
 use sweeper_sim::stats::TrafficClass;
+use sweeper_sim::telemetry::{CsvTable, Record, Value};
 use sweeper_sim::Cycle;
 
 /// One measured operating point.
@@ -40,17 +41,32 @@ impl LoadPoint {
     fn from_report(offered_rate: f64, report: &RunReport) -> Self {
         let counts = report.class_counts();
         let per_req = |c: TrafficClass| counts[c] as f64 / report.completed.max(1) as f64;
+        let latency = report.request_latency.summary();
         Self {
             offered_rate,
             throughput_mrps: report.throughput_mrps(),
-            latency_mean: report.request_latency.mean(),
-            latency_p50: report.request_latency.percentile(0.5),
-            latency_p99: report.request_latency.percentile(0.99),
+            latency_mean: latency.mean,
+            latency_p50: latency.p50,
+            latency_p99: latency.p99,
             memory_gbps: report.memory_bandwidth_gbps(),
             rx_leaks_per_request: per_req(TrafficClass::RxEvct) + per_req(TrafficClass::CpuRxRd),
             drop_rate: report.drop_rate(),
             goodput_ratio: report.goodput_ratio(),
         }
+    }
+
+    /// Structured export for the telemetry layer.
+    pub fn to_record(&self) -> Record {
+        Record::new()
+            .with("offered_rate", self.offered_rate)
+            .with("throughput_mrps", self.throughput_mrps)
+            .with("latency_mean", self.latency_mean)
+            .with("latency_p50", self.latency_p50)
+            .with("latency_p99", self.latency_p99)
+            .with("memory_gbps", self.memory_gbps)
+            .with("rx_leaks_per_request", self.rx_leaks_per_request)
+            .with("drop_rate", self.drop_rate)
+            .with("goodput_ratio", self.goodput_ratio)
     }
 }
 
@@ -180,25 +196,49 @@ impl LoadSweep {
 
     /// Renders the sweep as CSV (header + one row per point).
     pub fn to_csv(&self) -> String {
-        let mut out = String::from(
-            "offered_rate,throughput_mrps,latency_mean,latency_p50,latency_p99,\
-             memory_gbps,rx_leaks_per_request,drop_rate,goodput_ratio\n",
-        );
+        self.to_csv_with_comments(&[])
+    }
+
+    /// Like [`LoadSweep::to_csv`], with `# key: value` manifest comment
+    /// lines (in the workspace's shared dialect) prepended.
+    pub fn to_csv_with_comments(&self, comments: &[(String, String)]) -> String {
+        let mut table = CsvTable::new(&[
+            "offered_rate",
+            "throughput_mrps",
+            "latency_mean",
+            "latency_p50",
+            "latency_p99",
+            "memory_gbps",
+            "rx_leaks_per_request",
+            "drop_rate",
+            "goodput_ratio",
+        ])
+        .comments(comments);
         for p in &self.points {
-            out.push_str(&format!(
-                "{:.0},{:.4},{:.1},{},{},{:.3},{:.3},{:.6},{:.4}\n",
-                p.offered_rate,
-                p.throughput_mrps,
-                p.latency_mean,
-                p.latency_p50,
-                p.latency_p99,
-                p.memory_gbps,
-                p.rx_leaks_per_request,
-                p.drop_rate,
-                p.goodput_ratio
-            ));
+            table.row(vec![
+                format!("{:.0}", p.offered_rate),
+                format!("{:.4}", p.throughput_mrps),
+                format!("{:.1}", p.latency_mean),
+                p.latency_p50.to_string(),
+                p.latency_p99.to_string(),
+                format!("{:.3}", p.memory_gbps),
+                format!("{:.3}", p.rx_leaks_per_request),
+                format!("{:.6}", p.drop_rate),
+                format!("{:.4}", p.goodput_ratio),
+            ]);
         }
-        out
+        table.to_csv()
+    }
+
+    /// Structured export for the telemetry layer: one record per point.
+    pub fn to_record(&self) -> Record {
+        Record::new().with(
+            "points",
+            self.points
+                .iter()
+                .map(|p| Value::from(p.to_record()))
+                .collect::<Vec<_>>(),
+        )
     }
 }
 
@@ -282,6 +322,27 @@ mod tests {
         let csv = sweep.to_csv();
         assert!(csv.starts_with("offered_rate,"));
         assert_eq!(csv.lines().count(), 1 + sweep.points().len());
+    }
+
+    #[test]
+    fn csv_comments_and_record_share_the_points() {
+        let exp = tiny_experiment();
+        let sweep = LoadSweep::run(&exp, &RateGrid::linear(0.5e6, 1.5e6, 2), false);
+        let csv =
+            sweep.to_csv_with_comments(&[("artifact".to_string(), "loadsweep".to_string())]);
+        assert!(csv.starts_with("# artifact: loadsweep\noffered_rate,"));
+        let rec = sweep.to_record();
+        let Some(Value::Array(points)) = rec.get("points") else {
+            panic!("points missing");
+        };
+        assert_eq!(points.len(), sweep.points().len());
+        let Value::Record(first) = &points[0] else {
+            panic!("point not a record");
+        };
+        assert_eq!(
+            first.get("latency_p99"),
+            Some(&Value::U64(sweep.points()[0].latency_p99))
+        );
     }
 
     #[test]

@@ -1,15 +1,31 @@
-//! Human-readable rendering of run reports.
+//! Rendering of run reports through pluggable sinks.
 //!
 //! The CLI, the examples, and ad-hoc drivers all need the same summary of a
-//! [`RunReport`]; this module renders it once, consistently. The format is
-//! stable line-oriented `key : value` text (easy to grep), with the
-//! per-request breakdown in the paper's legend order.
+//! [`RunReport`]. One traversal, [`emit`], walks the report exactly once and
+//! streams typed events into a [`ReportSink`]; the sink decides the output
+//! format:
+//!
+//! * [`TextSink`] — the stable line-oriented `key : value` text (easy to
+//!   grep) the CLI has always printed, with the per-class breakdown in the
+//!   paper's legend order. Byte-identical to the historical `render`
+//!   output: the golden tests pin it.
+//! * [`JsonSink`] — a typed [`Record`] with every scalar the text shows
+//!   *plus* machine-only extras (raw counters, full latency summaries, the
+//!   memory-system record, per-channel transfer counts).
+//! * [`CsvSink`] — one wide CSV row, flattened, for spreadsheet ingestion.
+//!
+//! Because every format flows through the same traversal, a value shown in
+//! the text report is guaranteed to appear — bit-equal — in the JSON and
+//! CSV exports; `tests/telemetry_golden.rs` enforces this.
 
 use std::fmt::Write as _;
 
+use sweeper_sim::stats::{HistogramSummary, TrafficClass};
+use sweeper_sim::telemetry::{CsvTable, Record, Value};
+
 use crate::server::RunReport;
 
-/// Controls which sections [`render`] includes.
+/// Controls which sections [`emit`] includes.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ReportStyle {
     /// Include the per-class access breakdown.
@@ -45,65 +61,323 @@ impl ReportStyle {
     }
 }
 
-/// Renders `report` as stable text.
-pub fn render(report: &RunReport, style: ReportStyle) -> String {
-    let mut out = String::new();
-    let _ = writeln!(out, "workload            : {}", report.workload);
-    let _ = writeln!(out, "completed           : {}", report.completed);
-    let _ = writeln!(
-        out,
-        "throughput          : {:.2} Mrps",
-        report.throughput_mrps()
+/// Receives the typed event stream of one report traversal.
+///
+/// Implementations decide what to keep and how to format it; [`emit`] calls
+/// the methods in a fixed order so sinks never need to re-sort.
+pub trait ReportSink {
+    /// A named scalar. `key` is the stable machine identifier (JSON/CSV
+    /// field name), `label` the human label, `value` the typed value, and
+    /// `pretty` the unit-bearing text rendering.
+    fn scalar(&mut self, key: &str, label: &str, value: Value, pretty: &str);
+
+    /// A latency distribution. Text shows mean/p50/p99 (p50 only when
+    /// `show_p50`); machine formats get the full summary.
+    fn latency(&mut self, key: &str, label: &str, summary: &HistogramSummary, show_p50: bool);
+
+    /// One per-class access-breakdown entry (accesses per request).
+    fn class(&mut self, class: TrafficClass, per_request: f64);
+
+    /// A warning line.
+    fn warning(&mut self, text: &str);
+
+    /// A machine-only value (raw counters, nested records). Text sinks
+    /// ignore these; the default does nothing.
+    fn extra(&mut self, _key: &str, _value: Value) {}
+}
+
+/// Walks `report` once, streaming it into `sink`.
+pub fn emit(report: &RunReport, style: ReportStyle, sink: &mut dyn ReportSink) {
+    sink.scalar(
+        "workload",
+        "workload",
+        Value::from(report.workload.as_str()),
+        &report.workload,
     );
-    let _ = writeln!(out, "goodput ratio       : {:.3}", report.goodput_ratio());
-    let _ = writeln!(
-        out,
-        "drop rate           : {:.4}%",
-        report.drop_rate() * 100.0
+    sink.scalar(
+        "completed",
+        "completed",
+        Value::from(report.completed),
+        &report.completed.to_string(),
     );
-    let _ = writeln!(
-        out,
-        "memory bandwidth    : {:.2} GB/s",
-        report.memory_bandwidth_gbps()
+    let throughput = report.throughput_mrps();
+    sink.scalar(
+        "throughput_mrps",
+        "throughput",
+        Value::from(throughput),
+        &format!("{throughput:.2} Mrps"),
     );
-    let _ = writeln!(
-        out,
-        "request latency     : mean {:.0}  p50 {}  p99 {} cycles",
-        report.request_latency.mean(),
-        report.request_latency.percentile(0.5),
-        report.request_latency.percentile(0.99)
+    let goodput = report.goodput_ratio();
+    sink.scalar(
+        "goodput_ratio",
+        "goodput ratio",
+        Value::from(goodput),
+        &format!("{goodput:.3}"),
+    );
+    let drop_rate = report.drop_rate();
+    sink.scalar(
+        "drop_rate",
+        "drop rate",
+        Value::from(drop_rate),
+        &format!("{:.4}%", drop_rate * 100.0),
+    );
+    let gbps = report.memory_bandwidth_gbps();
+    sink.scalar(
+        "memory_bandwidth_gbps",
+        "memory bandwidth",
+        Value::from(gbps),
+        &format!("{gbps:.2} GB/s"),
+    );
+    sink.latency(
+        "request_latency",
+        "request latency",
+        &report.request_latency.summary(),
+        true,
     );
     if style.dram_latency {
-        let _ = writeln!(
-            out,
-            "dram read latency   : mean {:.0}  p99 {} cycles",
-            report.dram_latency.mean(),
-            report.dram_latency.percentile(0.99)
+        sink.latency(
+            "dram_latency",
+            "dram read latency",
+            &report.dram_latency.summary(),
+            false,
         );
     }
-    let _ = writeln!(
-        out,
-        "accesses/request    : {:.2}",
-        report.total_accesses_per_request()
+    let apr = report.total_accesses_per_request();
+    sink.scalar(
+        "accesses_per_request",
+        "accesses/request",
+        Value::from(apr),
+        &format!("{apr:.2}"),
     );
     if style.breakdown {
         for (class, v) in report.accesses_per_request() {
             if v > style.min_class {
-                let _ = writeln!(out, "    {class:<14}: {v:.2}");
+                sink.class(class, v);
             }
         }
     }
     if style.sweeper && report.mem.sweep_saved_writebacks > 0 {
-        let _ = writeln!(
-            out,
-            "writebacks saved    : {:.2}/request",
-            report.mem.sweep_saved_writebacks as f64 / report.completed.max(1) as f64
+        let per = report.mem.sweep_saved_writebacks as f64 / report.completed.max(1) as f64;
+        sink.scalar(
+            "writebacks_saved_per_request",
+            "writebacks saved",
+            Value::from(per),
+            &format!("{per:.2}/request"),
         );
     }
     if report.timed_out {
-        let _ = writeln!(out, "WARNING             : run hit max_cycles before its quota");
+        sink.warning("run hit max_cycles before its quota");
     }
-    out
+
+    // Machine-only extras: everything the text report summarizes away.
+    sink.extra("offered", Value::from(report.offered));
+    sink.extra("dropped", Value::from(report.dropped));
+    sink.extra("elapsed_cycles", Value::from(report.elapsed_cycles));
+    sink.extra(
+        "background_iterations",
+        Value::from(report.background_iterations),
+    );
+    sink.extra("timed_out", Value::from(report.timed_out));
+    sink.extra(
+        "service_time",
+        Value::from(report.service_time.summary().to_record()),
+    );
+    sink.extra("mem", Value::from(report.mem.to_record()));
+    sink.extra(
+        "channel_transfers",
+        Value::Array(
+            report
+                .channel_transfers
+                .iter()
+                .map(|&(r, w)| {
+                    Value::from(Record::new().with("reads", r).with("writes", w))
+                })
+                .collect(),
+        ),
+    );
+}
+
+/// Renders `report` as the stable text format.
+pub fn text_report(report: &RunReport, style: ReportStyle) -> String {
+    let mut sink = TextSink::new();
+    emit(report, style, &mut sink);
+    sink.finish()
+}
+
+/// Renders `report` as a typed [`Record`] (the `"report"` section of the
+/// JSON run document).
+pub fn json_record(report: &RunReport, style: ReportStyle) -> Record {
+    let mut sink = JsonSink::new();
+    emit(report, style, &mut sink);
+    sink.finish()
+}
+
+/// Renders `report` as stable text.
+#[deprecated(since = "0.2.0", note = "use `text_report`, or `emit` with a custom sink")]
+pub fn render(report: &RunReport, style: ReportStyle) -> String {
+    text_report(report, style)
+}
+
+/// The stable line-oriented text format.
+#[derive(Debug, Default)]
+pub struct TextSink {
+    out: String,
+}
+
+impl TextSink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The accumulated text.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+impl ReportSink for TextSink {
+    fn scalar(&mut self, _key: &str, label: &str, _value: Value, pretty: &str) {
+        let _ = writeln!(self.out, "{label:<20}: {pretty}");
+    }
+
+    fn latency(&mut self, _key: &str, label: &str, s: &HistogramSummary, show_p50: bool) {
+        if show_p50 {
+            let _ = writeln!(
+                self.out,
+                "{label:<20}: mean {:.0}  p50 {}  p99 {} cycles",
+                s.mean, s.p50, s.p99
+            );
+        } else {
+            let _ = writeln!(
+                self.out,
+                "{label:<20}: mean {:.0}  p99 {} cycles",
+                s.mean, s.p99
+            );
+        }
+    }
+
+    fn class(&mut self, class: TrafficClass, per_request: f64) {
+        let _ = writeln!(self.out, "    {class:<14}: {per_request:.2}");
+    }
+
+    fn warning(&mut self, text: &str) {
+        let _ = writeln!(self.out, "{:<20}: {text}", "WARNING");
+    }
+}
+
+/// Collects the traversal into a typed [`Record`].
+///
+/// Scalars and extras land in traversal order; the per-class breakdown is
+/// gathered into a `"breakdown"` array and warnings into `"warnings"`,
+/// both appended at the end so the document shape is fixed.
+#[derive(Debug, Default)]
+pub struct JsonSink {
+    rec: Record,
+    breakdown: Vec<Value>,
+    warnings: Vec<Value>,
+}
+
+impl JsonSink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The accumulated record.
+    pub fn finish(mut self) -> Record {
+        self.rec.push("breakdown", Value::Array(self.breakdown));
+        self.rec.push("warnings", Value::Array(self.warnings));
+        self.rec
+    }
+}
+
+impl ReportSink for JsonSink {
+    fn scalar(&mut self, key: &str, _label: &str, value: Value, _pretty: &str) {
+        self.rec.push(key, value);
+    }
+
+    fn latency(&mut self, key: &str, _label: &str, s: &HistogramSummary, _show_p50: bool) {
+        self.rec.push(key, s.to_record());
+    }
+
+    fn class(&mut self, class: TrafficClass, per_request: f64) {
+        self.breakdown.push(Value::from(
+            Record::new()
+                .with("class", class.to_string())
+                .with("per_request", per_request),
+        ));
+    }
+
+    fn warning(&mut self, text: &str) {
+        self.warnings.push(Value::from(text));
+    }
+
+    fn extra(&mut self, key: &str, value: Value) {
+        self.rec.push(key, value);
+    }
+}
+
+/// Flattens the traversal into one wide CSV row.
+///
+/// Latency summaries expand to `<key>_mean`/`<key>_p50`/`<key>_p99`
+/// columns, breakdown classes to `per_request[<class>]` columns; nested
+/// extras (records, arrays) are embedded as compact JSON cells.
+#[derive(Debug, Default)]
+pub struct CsvSink {
+    comments: Vec<(String, String)>,
+    columns: Vec<(String, Value)>,
+    warnings: Vec<String>,
+}
+
+impl CsvSink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Prepends `# key: value` manifest comment lines to the output.
+    pub fn with_comments(mut self, pairs: &[(String, String)]) -> Self {
+        self.comments.extend(pairs.iter().cloned());
+        self
+    }
+
+    /// The accumulated one-row CSV document.
+    pub fn finish(mut self) -> String {
+        if !self.warnings.is_empty() {
+            let joined = self.warnings.join("; ");
+            self.columns.push(("warnings".to_string(), Value::from(joined)));
+        }
+        let headers: Vec<&str> = self.columns.iter().map(|(k, _)| k.as_str()).collect();
+        let mut table = CsvTable::new(&headers).comments(&self.comments);
+        table.value_row(self.columns.iter().map(|(_, v)| v.clone()).collect());
+        table.to_csv()
+    }
+}
+
+impl ReportSink for CsvSink {
+    fn scalar(&mut self, key: &str, _label: &str, value: Value, _pretty: &str) {
+        self.columns.push((key.to_string(), value));
+    }
+
+    fn latency(&mut self, key: &str, _label: &str, s: &HistogramSummary, _show_p50: bool) {
+        self.columns.push((format!("{key}_mean"), Value::from(s.mean)));
+        self.columns.push((format!("{key}_p50"), Value::from(s.p50)));
+        self.columns.push((format!("{key}_p99"), Value::from(s.p99)));
+    }
+
+    fn class(&mut self, class: TrafficClass, per_request: f64) {
+        self.columns
+            .push((format!("per_request[{class}]"), Value::from(per_request)));
+    }
+
+    fn warning(&mut self, text: &str) {
+        self.warnings.push(text.to_string());
+    }
+
+    fn extra(&mut self, key: &str, value: Value) {
+        self.columns.push((key.to_string(), value));
+    }
 }
 
 /// One-line comparison between a baseline and a treatment report
@@ -133,9 +407,9 @@ mod tests {
     }
 
     #[test]
-    fn render_contains_all_sections() {
+    fn text_contains_all_sections() {
         let r = report();
-        let text = render(&r, ReportStyle::default());
+        let text = text_report(&r, ReportStyle::default());
         for key in [
             "workload",
             "completed",
@@ -153,9 +427,64 @@ mod tests {
     #[test]
     fn brief_style_omits_details() {
         let r = report();
-        let text = render(&r, ReportStyle::brief());
+        let text = text_report(&r, ReportStyle::brief());
         assert!(!text.contains("dram read latency"));
         assert!(text.contains("throughput"));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn render_shim_matches_text_report() {
+        let r = report();
+        assert_eq!(
+            render(&r, ReportStyle::default()),
+            text_report(&r, ReportStyle::default())
+        );
+    }
+
+    #[test]
+    fn json_record_carries_text_scalars() {
+        let r = report();
+        let rec = json_record(&r, ReportStyle::default());
+        assert_eq!(rec.get("workload"), Some(&Value::Str(r.workload.clone())));
+        assert_eq!(rec.get("completed"), Some(&Value::U64(r.completed)));
+        assert_eq!(
+            rec.get("throughput_mrps"),
+            Some(&Value::F64(r.throughput_mrps()))
+        );
+        assert!(matches!(rec.get("request_latency"), Some(Value::Record(_))));
+        assert!(matches!(rec.get("mem"), Some(Value::Record(_))));
+        assert!(matches!(rec.get("breakdown"), Some(Value::Array(_))));
+        assert_eq!(rec.get("warnings"), Some(&Value::Array(vec![])));
+    }
+
+    #[test]
+    fn json_breakdown_matches_style_filter() {
+        let r = report();
+        let style = ReportStyle::default();
+        let rec = json_record(&r, style);
+        let Some(Value::Array(breakdown)) = rec.get("breakdown") else {
+            panic!("breakdown missing");
+        };
+        let expected = r
+            .accesses_per_request()
+            .into_iter()
+            .filter(|(_, v)| *v > style.min_class)
+            .count();
+        assert_eq!(breakdown.len(), expected);
+    }
+
+    #[test]
+    fn csv_sink_emits_one_row() {
+        let r = report();
+        let mut sink = CsvSink::new().with_comments(&[("seed".into(), "1".into())]);
+        emit(&r, ReportStyle::default(), &mut sink);
+        let csv = sink.finish();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "# seed: 1");
+        assert!(lines[1].starts_with("workload,completed,throughput_mrps"));
+        assert_eq!(lines.len(), 3, "comments + header + one data row");
+        assert!(lines[1].contains("request_latency_p99"));
     }
 
     #[test]

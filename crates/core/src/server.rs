@@ -28,9 +28,10 @@ use sweeper_nic::packet::Packet;
 use sweeper_nic::queue::{CqEntry, QueuePair, WqEntry};
 use sweeper_nic::traffic::{ArrivalProcess, CoreAssigner, CoreAssignment, PoissonArrivals};
 use sweeper_sim::addr::{Addr, RegionKind};
-use sweeper_sim::engine::{EventQueue, SimRng};
-use sweeper_sim::hierarchy::{MachineConfig, MemorySystem};
+use sweeper_sim::engine::{cycles_to_secs, EventQueue, SimRng};
+use sweeper_sim::hierarchy::{LlcOccupancy, MachineConfig, MemorySystem};
 use sweeper_sim::stats::{ClassCounts, Histogram, MemStats};
+use sweeper_sim::telemetry::{CsvTable, Record, Value};
 use sweeper_sim::Cycle;
 
 use crate::workload::{execute_op, BackgroundTenant, CoreEnv, Op, TxAction, Workload};
@@ -68,6 +69,9 @@ pub struct ServerConfig {
     pub tx_sweep: bool,
     /// RNG seed; equal seeds give bit-identical runs.
     pub seed: u64,
+    /// In-run time-series sampling (`None` — the default — disables it and
+    /// keeps the event loop's sampling cost to a single branch).
+    pub sampler: Option<SamplerConfig>,
 }
 
 impl ServerConfig {
@@ -88,6 +92,7 @@ impl ServerConfig {
             sweeper: SweeperMode::Disabled,
             tx_sweep: false,
             seed: 0x5eed,
+            sampler: None,
         }
     }
 
@@ -107,6 +112,229 @@ impl ServerConfig {
             sweeper: SweeperMode::Disabled,
             tx_sweep: false,
             seed: 0x5eed,
+            sampler: None,
+        }
+    }
+}
+
+/// Configuration of the in-run time-series sampler (see [`TimeSeries`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SamplerConfig {
+    /// Simulated cycles between samples.
+    pub every: Cycle,
+    /// Samples retained; when the run outlives the window the oldest
+    /// samples fall out of the ring (`TimeSeries::total_samples` still
+    /// counts them).
+    pub capacity: usize,
+}
+
+impl SamplerConfig {
+    /// Samples every `every` cycles with the default retention window.
+    pub fn every(every: Cycle) -> Self {
+        Self {
+            every,
+            ..Self::default()
+        }
+    }
+}
+
+impl Default for SamplerConfig {
+    /// One sample per million cycles (~312 µs simulated), retaining 4096.
+    fn default() -> Self {
+        Self {
+            every: 1_000_000,
+            capacity: 4096,
+        }
+    }
+}
+
+/// One time-series sample: deltas cover the interval since the previous
+/// sample; occupancy and ring depth are instantaneous at the boundary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Cycles since measurement start (a multiple of the sampling period).
+    pub at: Cycle,
+    /// DRAM bandwidth over the interval, GB/s.
+    pub bandwidth_gbps: f64,
+    /// LLC occupancy by region kind at the boundary, in cache lines.
+    pub llc: LlcOccupancy,
+    /// Packets queued across all RX rings at the boundary.
+    pub rx_ring_depth: usize,
+    /// Packets offered during the interval.
+    pub offered_delta: u64,
+    /// Requests completed during the interval.
+    pub completed_delta: u64,
+    /// Packets dropped during the interval.
+    pub dropped_delta: u64,
+    /// DRAM transfers during the interval, per traffic class.
+    pub class_delta: ClassCounts,
+}
+
+impl Sample {
+    /// Structured export for the telemetry layer.
+    pub fn to_record(&self) -> Record {
+        Record::new()
+            .with("at_cycles", self.at)
+            .with("bandwidth_gbps", self.bandwidth_gbps)
+            .with(
+                "llc",
+                Record::new()
+                    .with("rx", self.llc.rx)
+                    .with("tx", self.llc.tx)
+                    .with("app", self.llc.app)
+                    .with("other", self.llc.other),
+            )
+            .with("rx_ring_depth", self.rx_ring_depth)
+            .with("offered_delta", self.offered_delta)
+            .with("completed_delta", self.completed_delta)
+            .with("dropped_delta", self.dropped_delta)
+            .with("class_delta", self.class_delta.to_record())
+    }
+}
+
+/// The sampled time series of one run (attached to [`RunReport`] when
+/// [`ServerConfig::sampler`] is set).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimeSeries {
+    every: Cycle,
+    capacity: usize,
+    samples: VecDeque<Sample>,
+    total: u64,
+}
+
+impl TimeSeries {
+    fn new(cfg: SamplerConfig) -> Self {
+        Self {
+            every: cfg.every,
+            capacity: cfg.capacity,
+            samples: VecDeque::with_capacity(cfg.capacity.min(1024)),
+            total: 0,
+        }
+    }
+
+    fn push(&mut self, sample: Sample) {
+        if self.samples.len() == self.capacity {
+            self.samples.pop_front();
+        }
+        self.samples.push_back(sample);
+        self.total += 1;
+    }
+
+    fn clear(&mut self) {
+        self.samples.clear();
+        self.total = 0;
+    }
+
+    /// The sampling period in cycles.
+    pub fn every(&self) -> Cycle {
+        self.every
+    }
+
+    /// Samples taken over the whole run, including any that fell out of
+    /// the retention window.
+    pub fn total_samples(&self) -> u64 {
+        self.total
+    }
+
+    /// Retained samples, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &Sample> {
+        self.samples.iter()
+    }
+
+    /// Number of retained samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no samples were retained.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Structured export for the telemetry layer.
+    pub fn to_record(&self) -> Record {
+        Record::new()
+            .with("every_cycles", self.every)
+            .with("total_samples", self.total)
+            .with("retained", self.samples.len())
+            .with(
+                "samples",
+                self.samples
+                    .iter()
+                    .map(|s| Value::from(s.to_record()))
+                    .collect::<Vec<_>>(),
+            )
+    }
+
+    /// CSV export in the workspace's shared dialect, one row per sample,
+    /// with extra caller-supplied manifest comment lines.
+    pub fn to_csv_with_comments(&self, comments: &[(String, String)]) -> String {
+        let mut headers = vec![
+            "at_cycles",
+            "bandwidth_gbps",
+            "llc_rx",
+            "llc_tx",
+            "llc_app",
+            "llc_other",
+            "rx_ring_depth",
+            "offered_delta",
+            "completed_delta",
+            "dropped_delta",
+        ];
+        let class_headers: Vec<String> = sweeper_sim::stats::TrafficClass::ALL
+            .iter()
+            .map(|c| format!("delta[{}]", c.label()))
+            .collect();
+        headers.extend(class_headers.iter().map(|s| s.as_str()));
+        let mut table = CsvTable::new(&headers)
+            .comment("artifact", "timeseries")
+            .comment("every_cycles", self.every.to_string())
+            .comment("total_samples", self.total.to_string())
+            .comments(comments);
+        for s in &self.samples {
+            let mut row = vec![
+                Value::from(s.at),
+                Value::from(s.bandwidth_gbps),
+                Value::from(s.llc.rx),
+                Value::from(s.llc.tx),
+                Value::from(s.llc.app),
+                Value::from(s.llc.other),
+                Value::from(s.rx_ring_depth),
+                Value::from(s.offered_delta),
+                Value::from(s.completed_delta),
+                Value::from(s.dropped_delta),
+            ];
+            row.extend(s.class_delta.iter().map(|(_, n)| Value::from(n)));
+            table.value_row(row);
+        }
+        table.to_csv()
+    }
+}
+
+/// Live sampler state inside a running server.
+#[derive(Debug, Clone)]
+struct SamplerState {
+    cfg: SamplerConfig,
+    next: Cycle,
+    prev_accesses: u64,
+    prev_classes: ClassCounts,
+    prev_offered: u64,
+    prev_completed: u64,
+    prev_dropped: u64,
+    series: TimeSeries,
+}
+
+impl SamplerState {
+    fn new(cfg: SamplerConfig) -> Self {
+        Self {
+            cfg,
+            next: 0,
+            prev_accesses: 0,
+            prev_classes: ClassCounts::new(),
+            prev_offered: 0,
+            prev_completed: 0,
+            prev_dropped: 0,
+            series: TimeSeries::new(cfg),
         }
     }
 }
@@ -182,6 +410,8 @@ pub struct RunReport {
     /// Per-channel `(reads, writes)` DRAM transfer counts over the window —
     /// a channel-imbalance diagnostic.
     pub channel_transfers: Vec<(u64, u64)>,
+    /// In-run time series, present when [`ServerConfig::sampler`] was set.
+    pub timeseries: Option<TimeSeries>,
 }
 
 impl RunReport {
@@ -324,6 +554,7 @@ pub struct Server {
     background_iterations: u64,
     request_latency: Histogram,
     service_time: Histogram,
+    sampler: Option<SamplerState>,
 }
 
 impl std::fmt::Debug for Server {
@@ -383,7 +614,12 @@ impl Server {
         // up front keeps `EventQueue::push` reallocation-free for the whole
         // run.
         let event_capacity = (cores + 1) + cfg.rx_entries + cfg.tx_entries;
+        if let Some(sampler) = &cfg.sampler {
+            assert!(sampler.every > 0, "sampling period must be positive");
+            assert!(sampler.capacity > 0, "sampler capacity must be positive");
+        }
         Self {
+            sampler: cfg.sampler.map(SamplerState::new),
             busy: vec![false; cfg.active_cores as usize],
             active: (0..cfg.active_cores).map(|_| None).collect(),
             bg_ops: vec![VecDeque::new(); cores],
@@ -482,6 +718,59 @@ impl Server {
         self.request_latency.clear();
         self.service_time.clear();
         self.background_iterations = 0;
+        if let Some(state) = &mut self.sampler {
+            // Counters were just reset; the first interval starts here.
+            state.prev_accesses = 0;
+            state.prev_classes = ClassCounts::new();
+            state.prev_offered = 0;
+            state.prev_completed = self.completed;
+            state.prev_dropped = 0;
+            state.next = now + state.cfg.every;
+            state.series.clear();
+        }
+    }
+
+    /// Takes every due sample (stamped at its interval boundary). Deltas
+    /// spanning multiple periods land in the first due sample; later
+    /// boundaries in the same gap record zero deltas, so the series stays
+    /// aligned to the sampling grid regardless of event spacing.
+    fn maybe_sample(&mut self, now: Cycle) {
+        if self.sampler.is_none() {
+            return;
+        }
+        let mut state = self.sampler.take().expect("sampler present");
+        while now >= state.next {
+            let at = state.next - self.measure_start;
+            let stats = self.mem.stats();
+            let accesses = stats.dram_accesses();
+            let classes = stats.combined();
+            let dropped = self.nic.stats().dropped;
+            let interval_secs = cycles_to_secs(state.cfg.every);
+            let bandwidth_gbps = (accesses - state.prev_accesses) as f64
+                * sweeper_sim::BLOCK_BYTES as f64
+                / interval_secs
+                / 1e9;
+            let rx_ring_depth = (0..self.cfg.active_cores)
+                .map(|c| self.nic.ring(c).occupancy())
+                .sum::<usize>();
+            state.series.push(Sample {
+                at,
+                bandwidth_gbps,
+                llc: self.mem.llc_occupancy_by_region(),
+                rx_ring_depth,
+                offered_delta: self.offered - state.prev_offered,
+                completed_delta: self.completed - state.prev_completed,
+                dropped_delta: dropped - state.prev_dropped,
+                class_delta: classes.since(&state.prev_classes),
+            });
+            state.prev_accesses = accesses;
+            state.prev_classes = classes;
+            state.prev_offered = self.offered;
+            state.prev_completed = self.completed;
+            state.prev_dropped = dropped;
+            state.next += state.cfg.every;
+        }
+        self.sampler = Some(state);
     }
 
     /// Builds the trace and transmission plan for a dequeued packet.
@@ -688,6 +977,9 @@ impl Server {
                 Event::CoreStep { core } => self.core_step(core, now),
                 Event::BackgroundStep { core } => self.background_step(core, now),
             }
+            if self.measuring {
+                self.maybe_sample(now);
+            }
             if self.measuring
                 && self.measure_left == 0
                 && now.saturating_sub(self.measure_start) >= opts.min_measure_cycles
@@ -715,6 +1007,7 @@ impl Server {
             background_iterations: self.background_iterations,
             timed_out,
             channel_transfers: self.mem.dram().channel_counts(),
+            timeseries: self.sampler.as_ref().map(|s| s.series.clone()),
         }
     }
 }
@@ -916,6 +1209,102 @@ mod tests {
         };
         assert!(report.request_latency.mean() >= report.service_time.mean());
         assert!(report.request_latency.percentile(0.99) >= report.service_time.percentile(0.99));
+    }
+
+    #[test]
+    fn sampler_off_by_default() {
+        let report = run_echo(ServerConfig::tiny_for_tests());
+        assert!(report.timeseries.is_none());
+    }
+
+    #[test]
+    fn sampler_snapshots_the_run() {
+        let mut cfg = ServerConfig::tiny_for_tests();
+        cfg.sampler = Some(SamplerConfig::every(100_000));
+        let report = run_echo(cfg);
+        let ts = report.timeseries.clone().expect("sampler enabled");
+        assert_eq!(ts.every(), 100_000);
+        assert!(!ts.is_empty());
+        assert_eq!(ts.total_samples(), ts.len() as u64, "window not exceeded");
+        // Samples land on the sampling grid, strictly increasing.
+        for (i, s) in ts.iter().enumerate() {
+            assert_eq!(s.at, (i as u64 + 1) * 100_000);
+        }
+        // Interval deltas sum to the run totals the report carries.
+        let completed: u64 = ts.iter().map(|s| s.completed_delta).sum();
+        assert!(completed <= report.completed);
+        assert!(
+            completed >= report.completed * 9 / 10,
+            "samples cover the window: {completed} vs {}",
+            report.completed
+        );
+        // Bandwidth deltas agree with the aggregate within sampling slack.
+        let mean_gbps: f64 =
+            ts.iter().map(|s| s.bandwidth_gbps).sum::<f64>() / ts.len() as f64;
+        assert!((mean_gbps - report.memory_bandwidth_gbps()).abs() < 1.0 + mean_gbps * 0.5);
+    }
+
+    #[test]
+    fn sampler_is_deterministic() {
+        let mut cfg = ServerConfig::tiny_for_tests();
+        cfg.sampler = Some(SamplerConfig::every(100_000));
+        let a = run_echo(cfg.clone());
+        let b = run_echo(cfg);
+        assert_eq!(a.timeseries, b.timeseries);
+    }
+
+    #[test]
+    fn sampler_does_not_perturb_the_simulation() {
+        let base = run_echo(ServerConfig::tiny_for_tests());
+        let mut cfg = ServerConfig::tiny_for_tests();
+        cfg.sampler = Some(SamplerConfig::every(50_000));
+        let sampled = run_echo(cfg);
+        assert_eq!(base.completed, sampled.completed);
+        assert_eq!(base.elapsed_cycles, sampled.elapsed_cycles);
+        assert_eq!(base.mem.dram_accesses(), sampled.mem.dram_accesses());
+    }
+
+    #[test]
+    fn sampler_ring_retains_newest() {
+        let mut cfg = ServerConfig::tiny_for_tests();
+        cfg.sampler = Some(SamplerConfig {
+            every: 50_000,
+            capacity: 4,
+        });
+        let report = run_echo(cfg);
+        let ts = report.timeseries.expect("sampler enabled");
+        assert!(ts.total_samples() > 4, "run long enough to wrap");
+        assert_eq!(ts.len(), 4);
+        let last = ts.iter().last().expect("non-empty").at;
+        assert_eq!(last, ts.total_samples() * 50_000);
+    }
+
+    #[test]
+    fn timeseries_exports_are_structured() {
+        let mut cfg = ServerConfig::tiny_for_tests();
+        cfg.sampler = Some(SamplerConfig::every(100_000));
+        let report = run_echo(cfg);
+        let ts = report.timeseries.expect("sampler enabled");
+        let rec = ts.to_record();
+        assert_eq!(rec.get("every_cycles"), Some(&Value::U64(100_000)));
+        assert!(matches!(rec.get("samples"), Some(Value::Array(a)) if a.len() == ts.len()));
+        let csv = ts.to_csv_with_comments(&[("seed".into(), "1".into())]);
+        assert!(csv.starts_with("# artifact: timeseries\n"));
+        assert!(csv.contains("# seed: 1\n"));
+        assert!(csv.contains("\nat_cycles,bandwidth_gbps,llc_rx"));
+        // Header + one row per retained sample + 4 comment lines.
+        assert_eq!(csv.lines().count(), 4 + 1 + ts.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "sampling period must be positive")]
+    fn zero_sampling_period_rejected() {
+        let mut cfg = ServerConfig::tiny_for_tests();
+        cfg.sampler = Some(SamplerConfig {
+            every: 0,
+            capacity: 16,
+        });
+        Server::new(cfg, Box::new(EchoWorkload::default()));
     }
 
     #[test]

@@ -203,6 +203,27 @@ pub struct NicAccess {
     pub dram_transfers: u64,
 }
 
+/// LLC occupancy (in 64 B lines) split by region category, as returned by
+/// [`MemorySystem::llc_occupancy_by_region`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LlcOccupancy {
+    /// Lines holding RX-buffer blocks (any core).
+    pub rx: u64,
+    /// Lines holding TX-buffer blocks (any core).
+    pub tx: u64,
+    /// Lines holding application data.
+    pub app: u64,
+    /// Lines holding anything else.
+    pub other: u64,
+}
+
+impl LlcOccupancy {
+    /// Total occupied lines across all categories.
+    pub fn total(&self) -> u64 {
+        self.rx + self.tx + self.app + self.other
+    }
+}
+
 /// Incremental per-[`RegionKind`] LLC occupancy counters, updated on every
 /// LLC insert/evict/invalidate so occupancy queries never scan the cache.
 ///
@@ -1036,6 +1057,25 @@ impl MemorySystem {
         self.llc_occ.total_matching(pred)
     }
 
+    /// LLC occupancy split by region category in one pass over the
+    /// incremental counters — the shape the in-run telemetry sampler
+    /// snapshots every cadence tick.
+    pub fn llc_occupancy_by_region(&self) -> LlcOccupancy {
+        let mut occ = LlcOccupancy::default();
+        for (i, &count) in self.llc_occ.counts.iter().enumerate() {
+            if count == 0 {
+                continue;
+            }
+            match OccupancyCounters::kind_of(i) {
+                RegionKind::Rx { .. } => occ.rx += count,
+                RegionKind::Tx { .. } => occ.tx += count,
+                RegionKind::App => occ.app += count,
+                RegionKind::Other => occ.other += count,
+            }
+        }
+        occ
+    }
+
     /// Whether a block is resident anywhere in the hierarchy (tests).
     pub fn resident_anywhere(&self, block: BlockAddr) -> bool {
         self.llc.peek(block).is_some()
@@ -1353,6 +1393,22 @@ mod tests {
         mem.nic_write(rx, 64 * 8, 0);
         assert_eq!(mem.llc_occupancy_of(|k| k.is_rx()), 8);
         assert_eq!(mem.llc_occupancy_of(|k| k.is_tx()), 0);
+    }
+
+    #[test]
+    fn llc_occupancy_by_region_agrees_with_predicates() {
+        let mut mem = system(InjectionPolicy::Ddio, 2);
+        let rx = rx_region(&mut mem, 64 * 8);
+        mem.nic_write(rx, 64 * 8, 0);
+        let app = mem.address_map_mut().alloc(64 * 4, RegionKind::App);
+        mem.cpu_read(0, app, 64 * 4, 100);
+        let occ = mem.llc_occupancy_by_region();
+        assert_eq!(occ.rx, mem.llc_occupancy_of(|k| k.is_rx()));
+        assert_eq!(occ.tx, mem.llc_occupancy_of(|k| k.is_tx()));
+        assert_eq!(occ.app, mem.llc_occupancy_of(|k| k == RegionKind::App));
+        assert_eq!(occ.other, mem.llc_occupancy_of(|k| k == RegionKind::Other));
+        assert_eq!(occ.total(), mem.llc_occupancy_of(|_| true));
+        assert_eq!(occ.rx, 8);
     }
 
     #[test]

@@ -13,7 +13,10 @@
 //! * a sparse [coherence directory](coherence),
 //! * a [DDR4 memory model](dram) with channel/rank/bank timing and queuing,
 //! * [statistics](stats) that attribute every DRAM transfer to the traffic
-//!   classes used in the paper's figures.
+//!   classes used in the paper's figures,
+//! * a [structured telemetry layer](telemetry) — a `Value`/`Record` tree
+//!   with JSON and CSV writers that every machine-readable artifact in the
+//!   workspace serializes through.
 //!
 //! # Example
 //!
@@ -40,6 +43,7 @@ pub mod dram;
 pub mod engine;
 pub mod hierarchy;
 pub mod stats;
+pub mod telemetry;
 pub mod trace;
 
 /// Simulation time, measured in CPU cycles.

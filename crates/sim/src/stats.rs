@@ -10,6 +10,7 @@ use std::fmt;
 use std::ops::{Index, IndexMut};
 
 use crate::engine::cycles_to_secs;
+use crate::telemetry::Record;
 use crate::Cycle;
 
 /// Source attribution of a DRAM transfer.
@@ -118,6 +119,16 @@ impl ClassCounts {
             out.0[i] = self.0[i].saturating_sub(earlier.0[i]);
         }
         out
+    }
+
+    /// Structured export keyed by the paper's legend labels, in legend
+    /// order.
+    pub fn to_record(&self) -> Record {
+        let mut rec = Record::new();
+        for (class, n) in self.iter() {
+            rec.push(class.label(), n);
+        }
+        rec
     }
 }
 
@@ -233,6 +244,36 @@ impl MemStats {
             out[c] += n;
         }
         out
+    }
+
+    /// Structured export of every counter, for the telemetry layer.
+    pub fn to_record(&self) -> Record {
+        Record::new()
+            .with("dram_reads", self.dram_reads.to_record())
+            .with("dram_writes", self.dram_writes.to_record())
+            .with("llc_hits", self.llc_hits)
+            .with("llc_misses", self.llc_misses)
+            .with("ddio_hits", self.ddio_hits)
+            .with("ddio_allocs", self.ddio_allocs)
+            .with("swept_blocks", self.swept_blocks)
+            .with("sweep_saved_writebacks", self.sweep_saved_writebacks)
+            .with("invalidations", self.invalidations)
+            .with("c2c_transfers", self.c2c_transfers)
+            .with(
+                "dirty_dropped_by_nic_overwrite",
+                self.dirty_dropped_by_nic_overwrite,
+            )
+            .with("dirty_dropped_unexpectedly", self.dirty_dropped_unexpectedly)
+            .with("nic_lines_evicted_by_nic", self.nic_lines_evicted_by_nic)
+            .with("nic_lines_evicted_by_cpu", self.nic_lines_evicted_by_cpu)
+            .with(
+                "dram_reads_by_core",
+                self.dram_reads_by_core
+                    .iter()
+                    .map(|&n| crate::telemetry::Value::U64(n))
+                    .collect::<Vec<_>>(),
+            )
+            .with("block_accesses", self.block_accesses)
     }
 }
 
@@ -401,6 +442,59 @@ impl Histogram {
         self.count = 0;
         self.sum = 0;
         self.max = 0;
+    }
+
+    /// The unified read API: one fixed set of percentile summaries shared
+    /// by the report sinks, the figures, and the telemetry exports, so
+    /// every consumer reads the same quantiles.
+    pub fn summary(&self) -> HistogramSummary {
+        HistogramSummary {
+            count: self.count,
+            mean: self.mean(),
+            p50: self.percentile(0.5),
+            p90: self.percentile(0.9),
+            p95: self.percentile(0.95),
+            p99: self.percentile(0.99),
+            p999: self.percentile(0.999),
+            max: self.max,
+        }
+    }
+}
+
+/// The fixed percentile summary of a [`Histogram`] (see
+/// [`Histogram::summary`]). All latencies are in cycles.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistogramSummary {
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Mean of recorded samples (0 if empty).
+    pub mean: f64,
+    /// Median.
+    pub p50: u64,
+    /// 90th percentile.
+    pub p90: u64,
+    /// 95th percentile.
+    pub p95: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// 99.9th percentile.
+    pub p999: u64,
+    /// Largest recorded sample.
+    pub max: u64,
+}
+
+impl HistogramSummary {
+    /// Structured export for the telemetry layer.
+    pub fn to_record(&self) -> Record {
+        Record::new()
+            .with("count", self.count)
+            .with("mean", self.mean)
+            .with("p50", self.p50)
+            .with("p90", self.p90)
+            .with("p95", self.p95)
+            .with("p99", self.p99)
+            .with("p999", self.p999)
+            .with("max", self.max)
     }
 }
 
@@ -576,5 +670,58 @@ mod tests {
     #[should_panic(expected = "quantile out of range")]
     fn percentile_rejects_bad_quantile() {
         Histogram::new().percentile(1.5);
+    }
+
+    #[test]
+    fn summary_matches_direct_percentile_calls() {
+        let mut h = Histogram::new();
+        for v in 1..=1000 {
+            h.record(v);
+        }
+        let s = h.summary();
+        assert_eq!(s.count, 1000);
+        assert_eq!(s.mean, h.mean());
+        assert_eq!(s.p50, h.percentile(0.5));
+        assert_eq!(s.p90, h.percentile(0.9));
+        assert_eq!(s.p95, h.percentile(0.95));
+        assert_eq!(s.p99, h.percentile(0.99));
+        assert_eq!(s.p999, h.percentile(0.999));
+        assert_eq!(s.max, 1000);
+        let rec = s.to_record();
+        assert_eq!(rec.get("p99"), Some(&crate::telemetry::Value::U64(s.p99)));
+        assert_eq!(rec.len(), 8);
+    }
+
+    #[test]
+    fn empty_summary_is_all_zero() {
+        let s = Histogram::new().summary();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean, 0.0);
+        assert_eq!(s.p999, 0);
+        assert_eq!(s.max, 0);
+    }
+
+    #[test]
+    fn class_counts_record_uses_legend_order() {
+        let mut c = ClassCounts::new();
+        c.bump(TrafficClass::RxEvct);
+        let rec = c.to_record();
+        let keys: Vec<&str> = rec.fields().iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(keys[0], "NIC RX Wr");
+        assert_eq!(keys[5], "RX Evct");
+        assert_eq!(rec.get("RX Evct"), Some(&crate::telemetry::Value::U64(1)));
+    }
+
+    #[test]
+    fn mem_stats_record_is_complete() {
+        let mut s = MemStats::new();
+        s.llc_hits = 3;
+        s.note_core_dram_read(1);
+        let rec = s.to_record();
+        assert_eq!(rec.get("llc_hits"), Some(&crate::telemetry::Value::U64(3)));
+        assert!(rec.get("dram_reads").is_some());
+        assert!(rec.get("block_accesses").is_some());
+        // One field per MemStats member.
+        assert_eq!(rec.len(), 16);
     }
 }

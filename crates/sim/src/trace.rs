@@ -10,6 +10,7 @@
 //! of how many were recorded in total. `to_csv` exports the retained window.
 
 use crate::addr::BlockAddr;
+use crate::telemetry::{CsvTable, Value};
 use crate::Cycle;
 
 /// The kinds of memory-system events recorded.
@@ -112,21 +113,33 @@ impl Trace {
         self.events().into_iter().filter(|e| e.kind == kind).collect()
     }
 
-    /// CSV export of the retained window.
+    /// CSV export of the retained window, in the workspace's shared CSV
+    /// dialect: `# key: value` manifest comment lines (artifact name,
+    /// totals), then a header row, then one row per event.
     pub fn to_csv(&self) -> String {
-        let mut out = String::from("cycle,kind,core,block,blocks,latency\n");
+        self.to_csv_with_comments(&[])
+    }
+
+    /// Like [`Trace::to_csv`], with extra caller-supplied manifest comment
+    /// lines (run configuration, seed, …) prepended after the artifact's
+    /// own.
+    pub fn to_csv_with_comments(&self, comments: &[(String, String)]) -> String {
+        let mut table = CsvTable::new(&["cycle", "kind", "core", "block", "blocks", "latency"])
+            .comment("artifact", "memtrace")
+            .comment("events_recorded", self.recorded.to_string())
+            .comment("events_retained", self.ring.len().to_string())
+            .comments(comments);
         for e in self.events() {
-            out.push_str(&format!(
-                "{},{},{},{},{},{}\n",
-                e.at,
-                e.kind.label(),
-                e.core,
-                e.block.0,
-                e.blocks,
-                e.latency
-            ));
+            table.value_row(vec![
+                Value::U64(e.at),
+                Value::Str(e.kind.label().to_string()),
+                Value::U64(e.core as u64),
+                Value::U64(e.block.0),
+                Value::U64(e.blocks as u64),
+                Value::U64(e.latency),
+            ]);
         }
-        out
+        table.to_csv()
     }
 
     /// Discards all retained events (the total count is kept).
@@ -197,8 +210,19 @@ mod tests {
         let mut t = Trace::new(2);
         t.record(ev(5));
         let csv = t.to_csv();
-        assert!(csv.starts_with("cycle,kind,core,block,blocks,latency\n"));
+        assert!(csv.starts_with("# artifact: memtrace\n"));
+        assert!(csv.contains("# events_recorded: 1\n"));
+        assert!(csv.contains("\ncycle,kind,core,block,blocks,latency\n"));
         assert!(csv.contains("5,cpu_rd,0,5,1,4"));
+    }
+
+    #[test]
+    fn csv_export_extra_comments() {
+        let mut t = Trace::new(2);
+        t.record(ev(5));
+        let csv =
+            t.to_csv_with_comments(&[("seed".to_string(), "42".to_string())]);
+        assert!(csv.contains("# seed: 42\n"));
     }
 
     #[test]

@@ -21,9 +21,13 @@ use sweeper::core::experiment::{Experiment, ExperimentConfig, PeakCriteria};
 use sweeper::core::fleet::Fleet;
 use sweeper::core::loadsweep::{LoadSweep, RateGrid};
 use sweeper::core::profile::RunProfile;
-use sweeper::core::report::{render, ReportStyle};
+use sweeper::core::report::{emit, text_report, CsvSink, ReportStyle};
 use sweeper::core::scenario::{Scenario, ScenarioWorkload};
-use sweeper::core::server::{RunOptions, RunReport, SweeperMode};
+use sweeper::core::server::{RunOptions, RunReport, SamplerConfig, SweeperMode};
+use sweeper::core::telemetry::{
+    document, run_document, timeseries_document, OutputFormat, Record, RunManifest,
+    LOADSWEEP_SCHEMA,
+};
 use sweeper::sim::hierarchy::{InjectionPolicy, MachineConfig};
 use sweeper::workloads::kvs::{KvsConfig, MicaKvs, HEADER_BYTES};
 use sweeper::workloads::l3fwd::{L3Forwarder, L3fwdConfig};
@@ -64,9 +68,19 @@ FLAGS (all optional):
     --profile <full|fast|smoke>        figure run lengths
                                        [SWEEPER_PROFILE, or fast if
                                        SWEEPER_FAST is set]
+    --format <text|json|csv>           output format for run/peak/sweep
+                                       (figure: stdout table format) [text]
+    --timeseries <PATH>                sample the run and write the time
+                                       series (CSV when PATH ends in .csv,
+                                       JSON otherwise)
+    --sample-every <CYCLES>            sampling period; implies an enabled
+                                       sampler                [1000000]
     --zero-copy                        l3fwd transmits in place
     --scenario <FILE>                  load a key=value scenario file first;
                                        later flags override its values
+
+JSON and CSV exports carry a run manifest (tool version, config summary,
+workload, seed, wall time) so artifacts found on disk identify their run.
 ";
 
 #[derive(Debug, Clone)]
@@ -94,6 +108,9 @@ struct Cli {
     points: usize,
     zero_copy: bool,
     scenario: Option<String>,
+    format: OutputFormat,
+    timeseries: Option<String>,
+    sample_every: Option<u64>,
 }
 
 impl Default for Cli {
@@ -121,6 +138,9 @@ impl Default for Cli {
             points: 8,
             zero_copy: false,
             scenario: None,
+            format: OutputFormat::Text,
+            timeseries: None,
+            sample_every: None,
         }
     }
 }
@@ -201,6 +221,9 @@ fn parse(args: &[String]) -> Result<Cli, String> {
             "--profile" => cli.profile = Some(value(flag)?.parse()?),
             "--zero-copy" => cli.zero_copy = true,
             "--scenario" => cli.scenario = Some(value(flag)?),
+            "--format" => cli.format = value(flag)?.parse()?,
+            "--timeseries" => cli.timeseries = Some(value(flag)?),
+            "--sample-every" => cli.sample_every = Some(num(&value(flag)?)?),
             other => return Err(format!("unknown flag '{other}' (see `sweeper help`)")),
         }
     }
@@ -217,7 +240,7 @@ fn fnum(s: &str) -> Result<f64, String> {
 
 fn build_experiment(cli: &Cli) -> Result<Experiment, String> {
     let ring_wrap = (cli.cores as u64 * cli.endpoints as u64 * cli.buffers as u64 * 12) / 10;
-    let cfg = ExperimentConfig::paper_default()
+    let mut cfg = ExperimentConfig::paper_default()
         .injection(cli.policy)
         .ddio_ways(cli.ddio)
         .sweeper(if cli.sweeper {
@@ -239,6 +262,10 @@ fn build_experiment(cli: &Cli) -> Result<Experiment, String> {
             min_warmup_cycles: 0,
             min_measure_cycles: 0,
         });
+    if cli.timeseries.is_some() || cli.sample_every.is_some() {
+        let every = cli.sample_every.unwrap_or(1_000_000);
+        cfg = cfg.sampling(SamplerConfig::every(every));
+    }
     let exp = match cli.workload.as_str() {
         "kvs" => {
             let item = cli.packet.saturating_sub(HEADER_BYTES).max(64);
@@ -259,7 +286,55 @@ fn build_experiment(cli: &Cli) -> Result<Experiment, String> {
 }
 
 fn print_report(report: &RunReport) {
-    print!("{}", render(report, ReportStyle::default()));
+    print!("{}", text_report(report, ReportStyle::default()));
+}
+
+/// The manifest attached to this invocation's exports.
+fn cli_manifest(cli: &Cli, exp: &Experiment) -> RunManifest {
+    let mut m = RunManifest::new()
+        .config(exp.config().summary())
+        .workload(cli.workload.as_str())
+        .seed(cli.seed);
+    if let Some(profile) = cli.profile {
+        m = m.profile(profile.to_string());
+    }
+    m
+}
+
+/// Prints one run report in the requested `--format`.
+fn emit_report(report: &RunReport, format: OutputFormat, manifest: &RunManifest) {
+    match format {
+        OutputFormat::Text => print_report(report),
+        OutputFormat::Json => {
+            let doc = run_document(report, ReportStyle::default(), manifest);
+            println!("{}", doc.to_json_pretty());
+        }
+        OutputFormat::Csv => {
+            let mut sink = CsvSink::new().with_comments(&manifest.to_comments());
+            emit(report, ReportStyle::default(), &mut sink);
+            print!("{}", sink.finish());
+        }
+    }
+}
+
+/// Writes the sampled time series to `--timeseries <PATH>` (CSV when the
+/// path ends in `.csv`, a JSON document otherwise).
+fn write_timeseries(cli: &Cli, report: &RunReport, manifest: &RunManifest) -> Result<(), String> {
+    let Some(path) = &cli.timeseries else {
+        return Ok(());
+    };
+    let ts = report
+        .timeseries
+        .as_ref()
+        .ok_or("run produced no time series (sampler was not enabled)")?;
+    let out = if path.ends_with(".csv") {
+        ts.to_csv_with_comments(&manifest.to_comments())
+    } else {
+        format!("{}\n", timeseries_document(ts, manifest).to_json_pretty())
+    };
+    std::fs::write(path, out).map_err(|e| format!("cannot write {path}: {e}"))?;
+    eprintln!("wrote time series ({} samples) to {path}", ts.len());
+    Ok(())
 }
 
 /// Resolves the fleet/profile context: environment first, flags override.
@@ -271,6 +346,7 @@ fn fig_context(cli: &Cli) -> FigContext {
     if let Some(profile) = cli.profile {
         ctx.profile = profile;
     }
+    ctx.format = cli.format;
     ctx
 }
 
@@ -322,9 +398,17 @@ fn main() -> ExitCode {
         }
         "run" => match build_experiment(&cli) {
             Ok(exp) => {
+                let t = std::time::Instant::now();
                 let report = exp.run_at_rate(cli.rate * 1e6);
-                println!("== {} @ {:.1} Mrps offered ==", cli.workload, cli.rate);
-                print_report(&report);
+                let manifest = cli_manifest(&cli, &exp).wall_secs(t.elapsed().as_secs_f64());
+                if let Err(e) = write_timeseries(&cli, &report, &manifest) {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+                if cli.format == OutputFormat::Text {
+                    println!("== {} @ {:.1} Mrps offered ==", cli.workload, cli.rate);
+                }
+                emit_report(&report, cli.format, &manifest);
                 ExitCode::SUCCESS
             }
             Err(e) => {
@@ -334,14 +418,48 @@ fn main() -> ExitCode {
         },
         "peak" => match build_experiment(&cli) {
             Ok(exp) => {
+                let t = std::time::Instant::now();
                 let peak = exp.find_peak(PeakCriteria::default());
-                println!(
-                    "peak: {:.2} Mrps (SLO = {} cycles = 100 x {:.0}-cycle unloaded service)",
-                    peak.throughput_mrps(),
-                    peak.slo_cycles,
-                    peak.unloaded_service_cycles
-                );
-                print_report(&peak.report);
+                let manifest = cli_manifest(&cli, &exp).wall_secs(t.elapsed().as_secs_f64());
+                if let Err(e) = write_timeseries(&cli, &peak.report, &manifest) {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+                match cli.format {
+                    OutputFormat::Text => {
+                        println!(
+                            "peak: {:.2} Mrps (SLO = {} cycles = 100 x {:.0}-cycle unloaded service)",
+                            peak.throughput_mrps(),
+                            peak.slo_cycles,
+                            peak.unloaded_service_cycles
+                        );
+                        print_report(&peak.report);
+                    }
+                    OutputFormat::Json => {
+                        let doc = run_document(&peak.report, ReportStyle::default(), &manifest)
+                            .with(
+                                "peak",
+                                Record::new()
+                                    .with("rate_mrps", peak.throughput_mrps())
+                                    .with("slo_cycles", peak.slo_cycles)
+                                    .with(
+                                        "unloaded_service_cycles",
+                                        peak.unloaded_service_cycles,
+                                    ),
+                            );
+                        println!("{}", doc.to_json_pretty());
+                    }
+                    OutputFormat::Csv => {
+                        let mut comments = manifest.to_comments();
+                        comments.push((
+                            "peak_mrps".to_string(),
+                            format!("{:.2}", peak.throughput_mrps()),
+                        ));
+                        let mut sink = CsvSink::new().with_comments(&comments);
+                        emit(&peak.report, ReportStyle::default(), &mut sink);
+                        print!("{}", sink.finish());
+                    }
+                }
                 ExitCode::SUCCESS
             }
             Err(e) => {
@@ -353,6 +471,7 @@ fn main() -> ExitCode {
             Ok(exp) => {
                 let grid = RateGrid::geometric(cli.lo * 1e6, cli.hi * 1e6, cli.points);
                 let fleet = fig_context(&cli).fleet;
+                let t = std::time::Instant::now();
                 // The parallel path runs the whole grid (no saturation
                 // early-exit); keep the sequential path's behavior when a
                 // single worker is requested.
@@ -361,7 +480,19 @@ fn main() -> ExitCode {
                 } else {
                     LoadSweep::run(&exp, &grid, true)
                 };
-                print!("{}", sweep.to_csv());
+                let manifest = cli_manifest(&cli, &exp).wall_secs(t.elapsed().as_secs_f64());
+                match cli.format {
+                    // `text` keeps the historical bare-CSV stdout contract.
+                    OutputFormat::Text => print!("{}", sweep.to_csv()),
+                    OutputFormat::Csv => {
+                        print!("{}", sweep.to_csv_with_comments(&manifest.to_comments()));
+                    }
+                    OutputFormat::Json => {
+                        let doc =
+                            document(LOADSWEEP_SCHEMA, &manifest, "sweep", sweep.to_record());
+                        println!("{}", doc.to_json_pretty());
+                    }
+                }
                 if let Some(knee) = sweep.knee() {
                     eprintln!("knee at ~{:.1} Mrps offered", knee.offered_rate / 1e6);
                 }

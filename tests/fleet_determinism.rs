@@ -6,7 +6,8 @@ use sweeper::bench::figs;
 use sweeper::core::experiment::ExperimentConfig;
 use sweeper::core::fleet::{ExperimentPoint, Fleet, PointOutcome};
 use sweeper::core::profile::RunProfile;
-use sweeper::core::report::{render, ReportStyle};
+use sweeper::core::report::{text_report, ReportStyle};
+use sweeper::core::telemetry::{fleet_document, RunManifest};
 use sweeper::core::workload::EchoWorkload;
 
 /// A mixed-action point list over the tiny test machine: open-loop points
@@ -35,7 +36,7 @@ fn points() -> Vec<ExperimentPoint> {
 fn fingerprint(outcomes: &[PointOutcome]) -> String {
     outcomes
         .iter()
-        .map(|o| format!("## {}\n{}", o.label, render(&o.report, ReportStyle::default())))
+        .map(|o| format!("## {}\n{}", o.label, text_report(&o.report, ReportStyle::default())))
         .collect()
 }
 
@@ -45,6 +46,19 @@ fn fleet_outcomes_are_byte_identical_across_worker_counts() {
     let four = fingerprint(&Fleet::new(4).quiet().run(points()));
     assert!(!one.is_empty());
     assert_eq!(one, four, "--jobs 1 and --jobs 4 must render identically");
+}
+
+/// The structured export inherits the guarantee: fleet JSON documents are
+/// byte-identical for any worker count (per-point wall time is deliberately
+/// excluded from `PointOutcome::to_record`).
+#[test]
+fn fleet_json_is_byte_identical_across_worker_counts() {
+    let manifest = RunManifest::new().profile("test").seed(1);
+    let one = fleet_document(&Fleet::new(1).quiet().run(points()), &manifest).to_json_pretty();
+    let four = fleet_document(&Fleet::new(4).quiet().run(points()), &manifest).to_json_pretty();
+    assert!(one.contains("sweeper.fleet/1"));
+    assert!(!one.contains("wall"), "wall time must stay out of fleet JSON");
+    assert_eq!(one, four, "fleet JSON must not depend on --jobs");
 }
 
 #[test]

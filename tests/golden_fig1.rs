@@ -15,15 +15,15 @@ use std::path::PathBuf;
 
 use sweeper::bench::{kvs_experiment, SystemPoint};
 use sweeper::core::profile::RunProfile;
-use sweeper::core::report::{render, ReportStyle};
+use sweeper::core::report::{text_report, ReportStyle};
 use sweeper::core::server::RunReport;
 
 /// Every counter and distribution the simulator produces, serialized to
-/// stable text. Broader than `render` alone: raw `MemStats` fields and
+/// stable text. Broader than `text_report` alone: raw `MemStats` fields and
 /// histogram internals are included so a drift that cancels out in derived
 /// metrics still fails.
 fn fingerprint(report: &RunReport) -> String {
-    let mut out = render(report, ReportStyle::default());
+    let mut out = text_report(report, ReportStyle::default());
     let m = &report.mem;
     let _ = writeln!(out, "offered             : {}", report.offered);
     let _ = writeln!(out, "dropped             : {}", report.dropped);

@@ -1,0 +1,172 @@
+//! Telemetry contract tests: the JSON run document is schema-stable and
+//! agrees — value for value — with the text report.
+//!
+//! The golden snapshot pins the *shape and content* of the export the same
+//! way `golden_fig1` pins the text fingerprint: any field rename, reorder,
+//! or numeric drift shows up as a byte diff. Regenerate intentionally with
+//! `SWEEPER_BLESS=1 cargo test --test telemetry_golden` and inspect the
+//! diff before committing. The manifest's `version` field is normalized so
+//! routine version bumps don't invalidate the snapshot.
+
+use std::path::PathBuf;
+
+use sweeper::core::experiment::{Experiment, ExperimentConfig};
+use sweeper::core::report::{json_record, text_report, ReportStyle};
+use sweeper::core::server::RunReport;
+use sweeper::core::telemetry::{
+    run_document, validate_run_document, Record, RunManifest, Value,
+};
+use sweeper::core::workload::EchoWorkload;
+
+const SEED: u64 = 7;
+
+/// A deterministic run: tiny machine, echo workload, fixed seed.
+fn report() -> RunReport {
+    let cfg = ExperimentConfig::tiny_for_tests().seed(SEED);
+    Experiment::new(cfg, || EchoWorkload::with_think(100)).run_at_rate(1.0e6)
+}
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{name}.json"))
+}
+
+fn check_golden(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var("SWEEPER_BLESS").is_ok_and(|v| !v.is_empty()) {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden {name} ({e}); bless with SWEEPER_BLESS=1"));
+    assert_eq!(
+        expected, actual,
+        "run-report JSON diverged from golden '{name}' — a field rename or \
+         reorder is a schema break (bless only if intentional)"
+    );
+}
+
+/// Replaces the manifest's version value so crate version bumps don't
+/// invalidate the snapshot.
+fn normalize_version(json: &str) -> String {
+    let mut out: String = json
+        .lines()
+        .map(|l| {
+            if let Some(i) = l.find("\"version\": ") {
+                let comma = if l.trim_end().ends_with(',') { "," } else { "" };
+                format!("{}\"version\": \"<version>\"{comma}", &l[..i])
+            } else {
+                l.to_string()
+            }
+        })
+        .collect::<Vec<_>>()
+        .join("\n");
+    out.push('\n');
+    out
+}
+
+fn f64_of(rec: &Record, key: &str) -> f64 {
+    match rec.get(key) {
+        Some(Value::F64(v)) => *v,
+        other => panic!("'{key}' should be a float, got {other:?}"),
+    }
+}
+
+fn u64_of(rec: &Record, key: &str) -> u64 {
+    match rec.get(key) {
+        Some(Value::U64(v)) => *v,
+        other => panic!("'{key}' should be an integer, got {other:?}"),
+    }
+}
+
+fn record_of<'a>(rec: &'a Record, key: &str) -> &'a Record {
+    match rec.get(key) {
+        Some(Value::Record(r)) => r,
+        other => panic!("'{key}' should be a record, got {other:?}"),
+    }
+}
+
+/// The value printed for `label` in the text report (labels pad to 20).
+fn text_value<'a>(text: &'a str, label: &str) -> &'a str {
+    let prefix = format!("{label:<20}: ");
+    text.lines()
+        .find_map(|l| l.strip_prefix(prefix.as_str()))
+        .unwrap_or_else(|| panic!("missing '{label}' in text report:\n{text}"))
+}
+
+#[test]
+fn run_report_json_matches_golden_and_schema() {
+    let report = report();
+    let manifest = RunManifest::new()
+        .profile("test")
+        .config("tiny_for_tests")
+        .workload("echo")
+        .seed(SEED);
+    let doc = run_document(&report, ReportStyle::default(), &manifest);
+    validate_run_document(&doc).expect("run document must satisfy the schema");
+    let json = normalize_version(&format!("{}\n", doc.to_json_pretty()));
+    check_golden("run_report", &json);
+}
+
+#[test]
+fn text_and_json_reports_agree_on_every_shared_scalar() {
+    let report = report();
+    let text = text_report(&report, ReportStyle::default());
+    let rec = json_record(&report, ReportStyle::default());
+
+    assert_eq!(
+        text_value(&text, "completed"),
+        u64_of(&rec, "completed").to_string()
+    );
+    assert_eq!(
+        text_value(&text, "throughput"),
+        format!("{:.2} Mrps", f64_of(&rec, "throughput_mrps"))
+    );
+    assert_eq!(
+        text_value(&text, "goodput ratio"),
+        format!("{:.3}", f64_of(&rec, "goodput_ratio"))
+    );
+    assert_eq!(
+        text_value(&text, "drop rate"),
+        format!("{:.4}%", f64_of(&rec, "drop_rate") * 100.0)
+    );
+    assert_eq!(
+        text_value(&text, "memory bandwidth"),
+        format!("{:.2} GB/s", f64_of(&rec, "memory_bandwidth_gbps"))
+    );
+    assert_eq!(
+        text_value(&text, "accesses/request"),
+        format!("{:.2}", f64_of(&rec, "accesses_per_request"))
+    );
+    let lat = record_of(&rec, "request_latency");
+    assert_eq!(
+        text_value(&text, "request latency"),
+        format!(
+            "mean {:.0}  p50 {}  p99 {} cycles",
+            f64_of(lat, "mean"),
+            u64_of(lat, "p50"),
+            u64_of(lat, "p99")
+        )
+    );
+    let dram = record_of(&rec, "dram_latency");
+    assert_eq!(
+        text_value(&text, "dram read latency"),
+        format!(
+            "mean {:.0}  p99 {} cycles",
+            f64_of(dram, "mean"),
+            u64_of(dram, "p99")
+        )
+    );
+}
+
+/// The document is a pure function of the run: two identical runs export
+/// byte-identical JSON (the manifest carries no wall-clock time here).
+#[test]
+fn run_document_is_deterministic() {
+    let manifest = RunManifest::new().seed(SEED);
+    let a = run_document(&report(), ReportStyle::default(), &manifest).to_json_pretty();
+    let b = run_document(&report(), ReportStyle::default(), &manifest).to_json_pretty();
+    assert_eq!(a, b);
+}
