@@ -1,0 +1,8 @@
+//! Runs the flight-recorder outlier drill-down. See
+//! `sweeper_bench::figs::outliers`.
+//!
+//! Flags: `--jobs N`, `--profile full|fast|smoke`.
+
+fn main() {
+    sweeper_bench::figure_main("outliers");
+}

@@ -19,6 +19,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 pub mod fig10;
+pub mod outliers;
 pub mod table1;
 
 use sweeper_core::fleet::{ExperimentPoint, PointOutcome};
@@ -67,6 +68,7 @@ pub fn registry() -> &'static [&'static dyn Figure] {
         &fig9::Fig9,
         &fig10::Fig10,
         &ablations::Ablations,
+        &outliers::Outliers,
     ]
 }
 
@@ -106,6 +108,8 @@ mod tests {
         // Fig 10: 5 depths × 2 modes no-drop peaks + 7 rates × 3 series.
         assert_eq!(fig10::Fig10.points(p).len(), 31);
         assert_eq!(fig10::BUFFERS, [128, 256, 512, 1024, 2048]);
+        // Outlier drill-down: DDIO 2 ± Sweeper with the recorder armed.
+        assert_eq!(outliers::Outliers.points(p).len(), 2);
     }
 
     #[test]

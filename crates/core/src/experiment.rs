@@ -130,6 +130,35 @@ impl ExperimentConfig {
         self
     }
 
+    /// Enables request-level span recording with a ring of `capacity`
+    /// spans; the resulting reports carry `spans`.
+    pub fn spans(mut self, capacity: usize) -> Self {
+        self.server.spans = Some(capacity);
+        self
+    }
+
+    /// Enables the hierarchical cycle/DRAM profiler; the resulting reports
+    /// carry a `profile` tree.
+    pub fn profiler(mut self) -> Self {
+        self.server.profiler = true;
+        self
+    }
+
+    /// Enables the tail-latency flight recorder (see
+    /// [`FlightRecorderConfig`](crate::server::FlightRecorderConfig));
+    /// forces span recording on and the resulting reports carry `outliers`.
+    pub fn flight(mut self, cfg: crate::server::FlightRecorderConfig) -> Self {
+        self.server.flight = Some(cfg);
+        self
+    }
+
+    /// Enables memory-event tracing with a ring of `capacity` events; the
+    /// resulting reports carry a `memtrace`.
+    pub fn memtrace(mut self, capacity: usize) -> Self {
+        self.server.memtrace = Some(capacity);
+        self
+    }
+
     /// The configured RNG seed. The fleet runner treats this as the *base*
     /// seed and derives per-point seeds from it with [`seed_for_point`].
     pub fn base_seed(&self) -> u64 {

@@ -375,6 +375,49 @@ mod tests {
     }
 
     #[test]
+    fn sampled_and_traced_fleet_is_byte_identical_across_job_counts() {
+        // The observability layer must not break determinism-by-construction:
+        // with in-run sampling AND span tracing enabled, the fleet JSON, the
+        // per-point Perfetto exports, and the per-point timeseries must all
+        // be byte-identical for --jobs 1 and --jobs N.
+        use crate::server::SamplerConfig;
+        use crate::telemetry::{fleet_document, perfetto_document, RunManifest};
+
+        let build = || -> Vec<ExperimentPoint> {
+            (0..4)
+                .map(|i| {
+                    ExperimentPoint::at_rate(
+                        format!("traced#{i}"),
+                        ExperimentConfig::tiny_for_tests()
+                            .sampling(SamplerConfig {
+                                every: 50_000,
+                                capacity: 64,
+                            })
+                            .spans(4096)
+                            .experiment(|| EchoWorkload::with_think(150)),
+                        2.0e6,
+                    )
+                })
+                .collect()
+        };
+        let manifest = RunManifest::new();
+        let artifacts = |outcomes: &[PointOutcome]| -> Vec<String> {
+            let mut out = vec![fleet_document(outcomes, &manifest).to_json_pretty()];
+            for o in outcomes {
+                let spans = o.report.spans.as_ref().expect("spans enabled");
+                assert!(!spans.is_empty(), "{}: traced run recorded no spans", o.label);
+                out.push(perfetto_document(spans, &manifest).to_json_pretty());
+                let ts = o.report.timeseries.as_ref().expect("sampler enabled");
+                out.push(ts.to_record().to_json_pretty());
+            }
+            out
+        };
+        let sequential = artifacts(&Fleet::sequential().quiet().run(build()));
+        let parallel = artifacts(&Fleet::new(4).quiet().run(build()));
+        assert_eq!(sequential, parallel);
+    }
+
+    #[test]
     fn run_tasks_handles_more_tasks_than_workers() {
         let tasks: Vec<_> = (0..50)
             .map(|i| move || i * 2)

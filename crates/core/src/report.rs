@@ -20,6 +20,7 @@
 
 use std::fmt::Write as _;
 
+use sweeper_sim::span::ProfileNode;
 use sweeper_sim::stats::{HistogramSummary, TrafficClass};
 use sweeper_sim::telemetry::{CsvTable, Record, Value};
 
@@ -84,6 +85,11 @@ pub trait ReportSink {
     /// A machine-only value (raw counters, nested records). Text sinks
     /// ignore these; the default does nothing.
     fn extra(&mut self, _key: &str, _value: Value) {}
+
+    /// The hierarchical cycle-attribution profile, offered once at the end
+    /// of the traversal when the run had the profiler enabled. The default
+    /// does nothing, so sinks that predate the profiler stay valid.
+    fn profile(&mut self, _node: &ProfileNode) {}
 }
 
 /// Walks `report` once, streaming it into `sink`.
@@ -195,6 +201,9 @@ pub fn emit(report: &RunReport, style: ReportStyle, sink: &mut dyn ReportSink) {
                 .collect(),
         ),
     );
+    if let Some(profile) = &report.profile {
+        sink.profile(profile);
+    }
 }
 
 /// Renders `report` as the stable text format.
@@ -234,6 +243,20 @@ impl TextSink {
     pub fn finish(self) -> String {
         self.out
     }
+
+    fn profile_node(&mut self, node: &ProfileNode, depth: usize, requests: f64) {
+        let indent = "    ".repeat(depth);
+        let _ = writeln!(
+            self.out,
+            "{indent}{:<14}: {:.0} cyc/req  {:.2} dram/req",
+            node.label,
+            node.cycles as f64 / requests,
+            node.dram_accesses() as f64 / requests,
+        );
+        for child in &node.children {
+            self.profile_node(child, depth + 1, requests);
+        }
+    }
 }
 
 impl ReportSink for TextSink {
@@ -263,6 +286,18 @@ impl ReportSink for TextSink {
 
     fn warning(&mut self, text: &str) {
         let _ = writeln!(self.out, "{:<20}: {text}", "WARNING");
+    }
+
+    fn profile(&mut self, node: &ProfileNode) {
+        let _ = writeln!(
+            self.out,
+            "{:<20}: {} cycles over {} requests",
+            "profile", node.cycles, node.count
+        );
+        let requests = node.count.max(1) as f64;
+        for child in &node.children {
+            self.profile_node(child, 1, requests);
+        }
     }
 }
 
@@ -315,6 +350,10 @@ impl ReportSink for JsonSink {
 
     fn extra(&mut self, key: &str, value: Value) {
         self.rec.push(key, value);
+    }
+
+    fn profile(&mut self, node: &ProfileNode) {
+        self.rec.push("profile", node.to_record());
     }
 }
 
@@ -377,6 +416,22 @@ impl ReportSink for CsvSink {
 
     fn extra(&mut self, key: &str, value: Value) {
         self.columns.push((key.to_string(), value));
+    }
+
+    fn profile(&mut self, node: &ProfileNode) {
+        // One cycle column per stage path, so totals can be checked in a
+        // spreadsheet without JSON parsing.
+        fn flatten(cols: &mut Vec<(String, Value)>, node: &ProfileNode, path: &str) {
+            cols.push((format!("profile_cycles[{path}]"), Value::from(node.cycles)));
+            cols.push((
+                format!("profile_dram[{path}]"),
+                Value::from(node.dram_accesses()),
+            ));
+            for child in &node.children {
+                flatten(cols, child, &format!("{path}.{}", child.label));
+            }
+        }
+        flatten(&mut self.columns, node, &node.label);
     }
 }
 
@@ -485,6 +540,43 @@ mod tests {
         assert!(lines[1].starts_with("workload,completed,throughput_mrps"));
         assert_eq!(lines.len(), 3, "comments + header + one data row");
         assert!(lines[1].contains("request_latency_p99"));
+    }
+
+    #[test]
+    fn profile_reaches_every_sink_with_matching_totals() {
+        let r = Experiment::new(ExperimentConfig::tiny_for_tests().profiler(), || {
+            EchoWorkload::with_think(100)
+        })
+        .run_at_rate(1.0e6);
+        let profile = r.profile.as_ref().expect("profiler enabled");
+
+        let text = text_report(&r, ReportStyle::default());
+        assert!(text.contains(&format!(
+            "profile             : {} cycles over {} requests",
+            profile.cycles, profile.count
+        )));
+        assert!(text.contains("nic_dma"));
+        assert!(text.contains("service"));
+
+        let rec = json_record(&r, ReportStyle::default());
+        let Some(Value::Record(json_profile)) = rec.get("profile") else {
+            panic!("profile missing from JSON");
+        };
+        assert_eq!(json_profile.get("cycles"), Some(&Value::U64(profile.cycles)));
+
+        let mut sink = CsvSink::new();
+        emit(&r, ReportStyle::default(), &mut sink);
+        let csv = sink.finish();
+        assert!(csv.contains("profile_cycles[request]"));
+        assert!(csv.contains("profile_cycles[request.service.cpu_read]"));
+        assert!(csv.contains(&profile.cycles.to_string()));
+    }
+
+    #[test]
+    fn text_report_unchanged_without_profiler() {
+        let r = report();
+        assert!(r.profile.is_none());
+        assert!(!text_report(&r, ReportStyle::default()).contains("profile"));
     }
 
     #[test]

@@ -30,8 +30,10 @@ use sweeper_nic::traffic::{ArrivalProcess, CoreAssigner, CoreAssignment, Poisson
 use sweeper_sim::addr::{Addr, RegionKind};
 use sweeper_sim::engine::{cycles_to_secs, EventQueue, SimRng};
 use sweeper_sim::hierarchy::{LlcOccupancy, MachineConfig, MemorySystem};
+use sweeper_sim::span::{OutlierSnapshot, ProfileNode, SpanKind, SpanRing};
 use sweeper_sim::stats::{ClassCounts, Histogram, MemStats};
 use sweeper_sim::telemetry::{CsvTable, Record, Value};
+use sweeper_sim::trace::Trace;
 use sweeper_sim::Cycle;
 
 use crate::workload::{execute_op, BackgroundTenant, CoreEnv, Op, TxAction, Workload};
@@ -72,6 +74,17 @@ pub struct ServerConfig {
     /// In-run time-series sampling (`None` — the default — disables it and
     /// keeps the event loop's sampling cost to a single branch).
     pub sampler: Option<SamplerConfig>,
+    /// Request-level span recording: ring capacity in spans (`None` — the
+    /// default — disables it; every hook is one branch when off).
+    pub spans: Option<usize>,
+    /// Hierarchical cycle/DRAM attribution per pipeline stage (the
+    /// [`RunReport::profile`] tree).
+    pub profiler: bool,
+    /// Tail-latency flight recorder; forces span recording on.
+    pub flight: Option<FlightRecorderConfig>,
+    /// Memory-event tracing: ring capacity in events (`None` disables;
+    /// dumped by the `sweeper trace` subcommand).
+    pub memtrace: Option<usize>,
 }
 
 impl ServerConfig {
@@ -93,6 +106,10 @@ impl ServerConfig {
             tx_sweep: false,
             seed: 0x5eed,
             sampler: None,
+            spans: None,
+            profiler: false,
+            flight: None,
+            memtrace: None,
         }
     }
 
@@ -113,6 +130,42 @@ impl ServerConfig {
             tx_sweep: false,
             seed: 0x5eed,
             sampler: None,
+            spans: None,
+            profiler: false,
+            flight: None,
+            memtrace: None,
+        }
+    }
+}
+
+/// Configuration of the tail-latency flight recorder.
+///
+/// The recorder keeps an online percentile estimate of the end-to-end
+/// request latency and, once enough requests have been measured, snapshots
+/// the span window surrounding any request whose latency exceeds the
+/// estimate ([`RunReport::outliers`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlightRecorderConfig {
+    /// The latency quantile whose online estimate is the trigger threshold.
+    pub quantile: f64,
+    /// Measured requests before the estimate is trusted and triggering
+    /// starts.
+    pub min_samples: u64,
+    /// Spans captured per snapshot (the tail of the span ring).
+    pub window: usize,
+    /// Snapshot budget per run; once exhausted, later outliers are only
+    /// counted in the latency histogram.
+    pub max_snapshots: usize,
+}
+
+impl Default for FlightRecorderConfig {
+    /// p99.9 trigger after 512 requests, 256-span windows, 32 snapshots.
+    fn default() -> Self {
+        Self {
+            quantile: 0.999,
+            min_samples: 512,
+            window: 256,
+            max_snapshots: 32,
         }
     }
 }
@@ -412,6 +465,18 @@ pub struct RunReport {
     pub channel_transfers: Vec<(u64, u64)>,
     /// In-run time series, present when [`ServerConfig::sampler`] was set.
     pub timeseries: Option<TimeSeries>,
+    /// Retained request spans, present when [`ServerConfig::spans`] (or the
+    /// flight recorder, which forces them on) was set.
+    pub spans: Option<SpanRing>,
+    /// Hierarchical cycle/DRAM attribution, present when
+    /// [`ServerConfig::profiler`] was set.
+    pub profile: Option<ProfileNode>,
+    /// Tail-latency outlier snapshots, present when
+    /// [`ServerConfig::flight`] was set (possibly empty).
+    pub outliers: Option<Vec<OutlierSnapshot>>,
+    /// Retained memory-event trace, present when
+    /// [`ServerConfig::memtrace`] was set.
+    pub memtrace: Option<Trace>,
 }
 
 impl RunReport {
@@ -510,6 +575,117 @@ impl TxRing {
     }
 }
 
+/// Cycles, executions, and DRAM-transfer classes attributed to one stage.
+#[derive(Debug, Clone, Copy, Default)]
+struct StageDelta {
+    cycles: u64,
+    count: u64,
+    classes: ClassCounts,
+}
+
+impl StageDelta {
+    fn add(&mut self, cycles: Cycle, classes: ClassCounts) {
+        self.cycles += cycles;
+        self.count += 1;
+        for (class, n) in classes.iter() {
+            self.classes[class] += n;
+        }
+    }
+
+    fn merge(&mut self, other: &StageDelta) {
+        self.cycles += other.cycles;
+        self.count += other.count;
+        for (class, n) in other.classes.iter() {
+            self.classes[class] += n;
+        }
+    }
+
+    fn into_node(self, label: &str) -> ProfileNode {
+        ProfileNode {
+            label: label.to_string(),
+            cycles: self.cycles,
+            count: self.count,
+            classes: self.classes,
+            children: Vec::new(),
+        }
+    }
+}
+
+/// Per-request service-stage accumulator, embedded in [`Active`] so the
+/// hot path stays allocation-free. Folded into [`ProfilerState`] only when
+/// the request finishes inside the measurement window.
+#[derive(Debug, Clone, Copy, Default)]
+struct ActiveProfile {
+    cpu_read: StageDelta,
+    app: StageDelta,
+    sweep: StageDelta,
+}
+
+/// The service stage an operation's cycles belong to.
+#[derive(Debug, Clone, Copy)]
+enum Stage {
+    CpuRead,
+    App,
+    Sweep,
+}
+
+/// Run-wide cycle-attribution accumulator (the profiler).
+#[derive(Debug, Clone, Default)]
+struct ProfilerState {
+    requests: u64,
+    total_cycles: u64,
+    nic_dma: StageDelta,
+    rx_wait: StageDelta,
+    cpu_read: StageDelta,
+    app: StageDelta,
+    sweep: StageDelta,
+    tx: StageDelta,
+}
+
+impl ProfilerState {
+    /// Builds the report's profile tree. The engine chains a request's
+    /// operation events with no gaps, so the cycle accounting is exact:
+    /// `request.cycles == nic_dma + rx_ring_wait + service` and
+    /// `service.cycles == cpu_read + app_service + sweep + tx`.
+    fn to_tree(&self) -> ProfileNode {
+        let mut service = ProfileNode::new("service");
+        service.count = self.requests;
+        for node in [
+            self.cpu_read.into_node(SpanKind::CpuRead.label()),
+            self.app.into_node(SpanKind::AppService.label()),
+            self.sweep.into_node(SpanKind::Sweep.label()),
+            self.tx.into_node(SpanKind::Tx.label()),
+        ] {
+            service.cycles += node.cycles;
+            for (class, n) in node.classes.iter() {
+                service.classes[class] += n;
+            }
+            service.children.push(node);
+        }
+        let mut root = ProfileNode::new("request");
+        root.cycles = self.total_cycles;
+        root.count = self.requests;
+        for node in [
+            self.nic_dma.into_node(SpanKind::NicDma.label()),
+            self.rx_wait.into_node(SpanKind::RxRingWait.label()),
+            service,
+        ] {
+            for (class, n) in node.classes.iter() {
+                root.classes[class] += n;
+            }
+            root.children.push(node);
+        }
+        root
+    }
+}
+
+/// Live flight-recorder state inside a running server.
+#[derive(Debug, Clone)]
+struct FlightState {
+    cfg: FlightRecorderConfig,
+    snapshots: Vec<OutlierSnapshot>,
+}
+
 /// An in-flight request on one core.
 #[derive(Debug)]
 struct Active {
@@ -517,6 +693,7 @@ struct Active {
     ops: VecDeque<Op>,
     wq: Option<WqEntry>,
     start: Cycle,
+    prof: ActiveProfile,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -555,6 +732,8 @@ pub struct Server {
     request_latency: Histogram,
     service_time: Histogram,
     sampler: Option<SamplerState>,
+    profiler: Option<ProfilerState>,
+    flight: Option<FlightState>,
 }
 
 impl std::fmt::Debug for Server {
@@ -618,8 +797,34 @@ impl Server {
             assert!(sampler.every > 0, "sampling period must be positive");
             assert!(sampler.capacity > 0, "sampler capacity must be positive");
         }
+        if let Some(flight) = &cfg.flight {
+            assert!(
+                flight.quantile > 0.0 && flight.quantile < 1.0,
+                "flight-recorder quantile must be in (0, 1)"
+            );
+            assert!(flight.window > 0, "flight-recorder window must be positive");
+            assert!(
+                flight.max_snapshots > 0,
+                "flight-recorder snapshot budget must be positive"
+            );
+        }
+        // The flight recorder triages span windows, so it forces span
+        // recording on; an explicit capacity wins.
+        match (cfg.spans, &cfg.flight) {
+            (Some(capacity), _) => mem.enable_spans(capacity),
+            (None, Some(flight)) => mem.enable_spans(flight.window.max(4096)),
+            (None, None) => {}
+        }
+        if let Some(capacity) = cfg.memtrace {
+            mem.enable_trace(capacity);
+        }
         Self {
             sampler: cfg.sampler.map(SamplerState::new),
+            profiler: cfg.profiler.then(ProfilerState::default),
+            flight: cfg.flight.map(|cfg| FlightState {
+                cfg,
+                snapshots: Vec::new(),
+            }),
             busy: vec![false; cfg.active_cores as usize],
             active: (0..cfg.active_cores).map(|_| None).collect(),
             bg_ops: vec![VecDeque::new(); cores],
@@ -686,10 +891,26 @@ impl Server {
         if self.measuring {
             self.offered += 1;
         }
+        // DMA-stage class attribution is taken at delivery time (the NIC
+        // injection and any writebacks it displaces), so it is per-window
+        // rather than per-finished-request; the boundary slack is at most
+        // the requests in flight when measurement starts or stops.
+        let before = self
+            .profiler
+            .as_ref()
+            .filter(|_| self.measuring)
+            .map(|_| self.mem.stats().combined());
         let delivered = self
             .nic
             .deliver(core, self.cfg.packet_bytes, now, &mut self.mem)
             .is_some();
+        if let Some(before) = before {
+            let delta = self.mem.stats().combined().since(&before);
+            let prof = self.profiler.as_mut().expect("profiler present");
+            for (class, n) in delta.iter() {
+                prof.nic_dma.classes[class] += n;
+            }
+        }
         if delivered && !self.busy[core as usize] {
             self.busy[core as usize] = true;
             self.events.push(now, Event::CoreStep { core });
@@ -718,6 +939,16 @@ impl Server {
         self.request_latency.clear();
         self.service_time.clear();
         self.background_iterations = 0;
+        // Warmup traffic is not part of any report: drop its spans and
+        // trace events, restart the attribution accumulators.
+        self.mem.clear_spans();
+        self.mem.clear_trace();
+        if let Some(prof) = &mut self.profiler {
+            *prof = ProfilerState::default();
+        }
+        if let Some(flight) = &mut self.flight {
+            flight.snapshots.clear();
+        }
         if let Some(state) = &mut self.sampler {
             // Counters were just reset; the first interval starts here.
             state.prev_accesses = 0;
@@ -776,6 +1007,9 @@ impl Server {
     /// Builds the trace and transmission plan for a dequeued packet.
     fn begin_request(&mut self, core: u16, pkt: Packet, now: Cycle) {
         let c = core as usize;
+        self.mem.set_span_trace(pkt.id.0);
+        self.mem
+            .record_span(SpanKind::RxRingWait, core, pkt.delivered, now);
         let mut env = CoreEnv::new(core, &mut self.wl_rng);
         let action = self.workload.handle_packet(&pkt, &mut env);
         let mut ops: VecDeque<Op> = env.into_ops().into();
@@ -824,6 +1058,7 @@ impl Server {
             ops,
             wq,
             start: now,
+            prof: ActiveProfile::default(),
         });
     }
 
@@ -833,7 +1068,19 @@ impl Server {
             let qp = &mut self.qps[core as usize];
             if qp.wq.push(entry).is_ok() {
                 let entry = self.qps[core as usize].wq.pop().expect("just pushed");
+                let before = self
+                    .profiler
+                    .as_ref()
+                    .filter(|_| self.measuring)
+                    .map(|_| self.mem.stats().combined());
                 self.nic.transmit(entry, now, &mut self.mem);
+                if let Some(before) = before {
+                    let delta = self.mem.stats().combined().since(&before);
+                    let prof = self.profiler.as_mut().expect("profiler present");
+                    // The transmit is posted — zero cycles on the request's
+                    // critical path — but its DRAM traffic is attributed.
+                    prof.tx.add(0, delta);
+                }
                 let _ = self.qps[core as usize].cq.push(CqEntry {
                     packet: entry.packet,
                     completed: now,
@@ -845,8 +1092,21 @@ impl Server {
         if self.measuring {
             self.completed += 1;
             self.measure_left = self.measure_left.saturating_sub(1);
-            self.request_latency.record(now - active.pkt.arrival);
+            let latency = now - active.pkt.arrival;
+            self.request_latency.record(latency);
             self.service_time.record(now - active.start);
+            if let Some(prof) = &mut self.profiler {
+                prof.requests += 1;
+                prof.total_cycles += latency;
+                prof.nic_dma.cycles += active.pkt.delivered - active.pkt.arrival;
+                prof.nic_dma.count += 1;
+                prof.rx_wait
+                    .add(active.start - active.pkt.delivered, ClassCounts::new());
+                prof.cpu_read.merge(&active.prof.cpu_read);
+                prof.app.merge(&active.prof.app);
+                prof.sweep.merge(&active.prof.sweep);
+            }
+            self.maybe_snapshot_outlier(&active, latency, now);
         } else {
             self.warmup_left = self.warmup_left.saturating_sub(1);
             if self.warmup_left == 0 && now >= self.opts.min_warmup_cycles {
@@ -859,12 +1119,78 @@ impl Server {
         }
     }
 
+    /// Snapshots the span window around a tail-latency outlier once the
+    /// online percentile estimate is trustworthy. Off the hot path: one
+    /// `Option` branch per finished request when the recorder is disabled,
+    /// and at most `max_snapshots` window copies per run when enabled.
+    fn maybe_snapshot_outlier(&mut self, active: &Active, latency: Cycle, now: Cycle) {
+        let Some(flight) = &self.flight else { return };
+        if flight.snapshots.len() >= flight.cfg.max_snapshots
+            || self.request_latency.count() < flight.cfg.min_samples
+        {
+            return;
+        }
+        let threshold = self.request_latency.percentile(flight.cfg.quantile);
+        if latency <= threshold {
+            return;
+        }
+        let window = flight.cfg.window;
+        let spans = self
+            .mem
+            .spans()
+            .expect("flight recorder forces span recording")
+            .events();
+        let tail = spans.len().saturating_sub(window);
+        let flight = self.flight.as_mut().expect("flight recorder present");
+        flight.snapshots.push(OutlierSnapshot {
+            seq: flight.snapshots.len() as u64,
+            trace: active.pkt.id.0,
+            core: active.pkt.core,
+            at: now,
+            latency,
+            threshold,
+            quantile: flight.cfg.quantile,
+            window: spans[tail..].to_vec(),
+        });
+    }
+
     /// Advances one core by one operation (or request boundary).
     fn core_step(&mut self, core: u16, now: Cycle) {
         let c = core as usize;
         if let Some(active) = &mut self.active[c] {
             if let Some(op) = active.ops.pop_front() {
+                // Every operation of this request runs under its trace id so
+                // interleaved cores' memory events stay attributable.
+                self.mem.set_span_trace(active.pkt.id.0);
+                let before = self
+                    .profiler
+                    .as_ref()
+                    .map(|_| self.mem.stats().combined());
                 let lat = execute_op(&mut self.mem, core, now, &op);
+                // Sweeps record their span inside `sweep_range` (shared with
+                // the NIC's zero-copy TX path); the CPU-visible stages are
+                // recorded here, after the fact, when the latency is known.
+                let stage = match op {
+                    Op::Read { .. } | Op::ReadScatter { .. } => {
+                        self.mem.record_span(SpanKind::CpuRead, core, now, now + lat);
+                        Stage::CpuRead
+                    }
+                    Op::Write { .. } | Op::Compute { .. } => {
+                        self.mem
+                            .record_span(SpanKind::AppService, core, now, now + lat);
+                        Stage::App
+                    }
+                    Op::Sweep { .. } => Stage::Sweep,
+                };
+                if let Some(before) = before {
+                    let delta = self.mem.stats().combined().since(&before);
+                    let slot = match stage {
+                        Stage::CpuRead => &mut active.prof.cpu_read,
+                        Stage::App => &mut active.prof.app,
+                        Stage::Sweep => &mut active.prof.sweep,
+                    };
+                    slot.add(lat, delta);
+                }
                 self.events.push(now + lat, Event::CoreStep { core });
                 return;
             }
@@ -1008,6 +1334,10 @@ impl Server {
             timed_out,
             channel_transfers: self.mem.dram().channel_counts(),
             timeseries: self.sampler.as_ref().map(|s| s.series.clone()),
+            spans: self.mem.spans().cloned(),
+            profile: self.profiler.as_ref().map(ProfilerState::to_tree),
+            outliers: self.flight.as_ref().map(|f| f.snapshots.clone()),
+            memtrace: self.mem.trace().cloned(),
         }
     }
 }
@@ -1313,6 +1643,143 @@ mod tests {
         let mut cfg = ServerConfig::tiny_for_tests();
         cfg.packet_bytes = 4096;
         Server::new(cfg, Box::new(EchoWorkload::default()));
+    }
+
+    #[test]
+    fn tracing_features_off_by_default() {
+        let report = run_echo(ServerConfig::tiny_for_tests());
+        assert!(report.spans.is_none());
+        assert!(report.profile.is_none());
+        assert!(report.outliers.is_none());
+        assert!(report.memtrace.is_none());
+    }
+
+    #[test]
+    fn spans_cover_the_request_pipeline() {
+        let mut cfg = ServerConfig::tiny_for_tests();
+        cfg.spans = Some(65_536);
+        cfg.sweeper = SweeperMode::Enabled;
+        let report = run_echo(cfg);
+        let spans = report.spans.expect("span recording enabled");
+        assert!(spans.recorded() > 0);
+        for kind in [
+            SpanKind::NicDma,
+            SpanKind::RxRingWait,
+            SpanKind::CpuRead,
+            SpanKind::AppService,
+            SpanKind::Sweep,
+            SpanKind::Tx,
+        ] {
+            assert!(
+                !spans.events_of(kind).is_empty(),
+                "no {kind} spans recorded"
+            );
+        }
+        // Request-stage spans are tagged with their packet's trace id.
+        for event in spans.events_of(SpanKind::RxRingWait) {
+            assert_ne!(event.trace, sweeper_sim::span::NO_TRACE);
+            assert!(event.end >= event.start);
+        }
+    }
+
+    #[test]
+    fn observability_does_not_perturb_the_simulation() {
+        let base = run_echo(ServerConfig::tiny_for_tests());
+        let mut cfg = ServerConfig::tiny_for_tests();
+        cfg.spans = Some(4096);
+        cfg.profiler = true;
+        cfg.flight = Some(FlightRecorderConfig::default());
+        cfg.memtrace = Some(1024);
+        let traced = run_echo(cfg);
+        assert_eq!(base.completed, traced.completed);
+        assert_eq!(base.elapsed_cycles, traced.elapsed_cycles);
+        assert_eq!(base.mem.dram_accesses(), traced.mem.dram_accesses());
+        assert_eq!(base.request_latency.mean(), traced.request_latency.mean());
+    }
+
+    #[test]
+    fn profiler_accounts_every_request_cycle() {
+        let mut cfg = ServerConfig::tiny_for_tests();
+        cfg.profiler = true;
+        cfg.sweeper = SweeperMode::Enabled;
+        let report = run_echo(cfg);
+        let profile = report.profile.expect("profiler enabled");
+        assert_eq!(profile.label, "request");
+        assert_eq!(profile.count, report.completed);
+        // The engine chains operation events with no gaps, so attribution
+        // is exact at both tree levels.
+        assert_eq!(profile.cycles, profile.child_cycles());
+        let service = profile
+            .children
+            .iter()
+            .find(|c| c.label == "service")
+            .expect("service node");
+        assert_eq!(service.cycles, service.child_cycles());
+        // Total attributed cycles equal the latency histogram's mass.
+        let total = (report.request_latency.mean() * report.completed as f64).round() as u64;
+        assert!(
+            profile.cycles.abs_diff(total) <= report.completed,
+            "profiled {} vs histogram {total}",
+            profile.cycles
+        );
+        assert!(profile.dram_accesses() > 0);
+    }
+
+    #[test]
+    fn profiler_is_deterministic() {
+        let mut cfg = ServerConfig::tiny_for_tests();
+        cfg.profiler = true;
+        let a = run_echo(cfg.clone());
+        let b = run_echo(cfg);
+        assert_eq!(a.profile, b.profile);
+    }
+
+    #[test]
+    fn flight_recorder_captures_outliers() {
+        let mut cfg = ServerConfig::tiny_for_tests();
+        cfg.flight = Some(FlightRecorderConfig {
+            quantile: 0.9,
+            min_samples: 100,
+            window: 64,
+            max_snapshots: 4,
+        });
+        let report = run_echo(cfg);
+        // Forcing spans on is part of the contract.
+        assert!(report.spans.is_some());
+        let outliers = report.outliers.expect("flight recorder enabled");
+        assert!(!outliers.is_empty(), "p90 trigger must fire in 1000 requests");
+        assert!(outliers.len() <= 4);
+        for (i, snap) in outliers.iter().enumerate() {
+            assert_eq!(snap.seq, i as u64);
+            assert!(snap.latency > snap.threshold);
+            assert!(!snap.window.is_empty());
+            assert!(snap.window.len() <= 64);
+        }
+    }
+
+    #[test]
+    fn memtrace_rides_the_report_and_carries_trace_ids() {
+        let mut cfg = ServerConfig::tiny_for_tests();
+        cfg.memtrace = Some(1024);
+        cfg.spans = Some(1024);
+        let report = run_echo(cfg);
+        let trace = report.memtrace.expect("memtrace enabled");
+        assert!(trace.recorded() > 0);
+        let csv = trace.to_csv();
+        assert!(
+            csv.contains(",latency,trace\n"),
+            "span-tagged trace must export the trace column"
+        );
+    }
+
+    #[test]
+    fn memtrace_alone_keeps_the_golden_columns() {
+        let mut cfg = ServerConfig::tiny_for_tests();
+        cfg.memtrace = Some(1024);
+        let report = run_echo(cfg);
+        let csv = report.memtrace.expect("memtrace enabled").to_csv();
+        assert!(csv.contains("\ncycle,kind,core,block,blocks,latency\n"));
+        assert!(!csv.contains(",latency,trace"));
     }
 
     #[test]

@@ -21,6 +21,8 @@
 
 pub use sweeper_sim::telemetry::{csv_escape, CsvTable, Record, Value};
 
+use sweeper_sim::span::{perfetto_events, OutlierSnapshot, SpanRing};
+
 use crate::fleet::PointOutcome;
 use crate::report::{json_record, ReportStyle};
 use crate::server::{RunReport, TimeSeries};
@@ -35,6 +37,10 @@ pub const FLEET_SCHEMA: &str = "sweeper.fleet/1";
 pub const LOADSWEEP_SCHEMA: &str = "sweeper.load-sweep/1";
 /// Schema tag of figure-table sidecar documents.
 pub const FIGURE_TABLE_SCHEMA: &str = "sweeper.figure-table/1";
+/// Schema tag of Chrome-trace-event (Perfetto) span exports.
+pub const PERFETTO_SCHEMA: &str = "sweeper.perfetto-trace/1";
+/// Schema tag of flight-recorder outlier snapshots.
+pub const OUTLIER_SCHEMA: &str = "sweeper.outlier/1";
 
 /// Export format selected by `--format` across the CLI and the figure
 /// binaries.
@@ -228,6 +234,28 @@ pub fn timeseries_document(timeseries: &TimeSeries, manifest: &RunManifest) -> R
     )
 }
 
+/// The Chrome-trace-event JSON document for one run's retained spans.
+///
+/// The document is the Trace Event Format's "JSON object" flavor: a
+/// top-level `traceEvents` array of `ph: "X"` complete events, which
+/// `ui.perfetto.dev` and `chrome://tracing` open directly; the schema tag
+/// and manifest ride alongside as ignored extra keys.
+pub fn perfetto_document(spans: &SpanRing, manifest: &RunManifest) -> Record {
+    Record::new()
+        .with("schema", PERFETTO_SCHEMA)
+        .with("manifest", manifest.to_record())
+        .with("displayTimeUnit", "ns")
+        .with("spans_recorded", spans.recorded())
+        .with("spans_retained", spans.len() as u64)
+        .with("traceEvents", Value::Array(perfetto_events(&spans.events())))
+}
+
+/// The JSON document for one flight-recorder outlier snapshot
+/// (`results/outliers/<n>.json`).
+pub fn outlier_document(snapshot: &OutlierSnapshot, manifest: &RunManifest) -> Record {
+    document(OUTLIER_SCHEMA, manifest, "outlier", snapshot.to_record())
+}
+
 /// The JSON document for a fleet of point outcomes.
 ///
 /// Per-point wall-clock times are excluded (see [`PointOutcome::to_record`])
@@ -343,6 +371,58 @@ pub fn validate_run_document(doc: &Record) -> Result<(), String> {
     Ok(())
 }
 
+/// Validates the shape of a Perfetto trace document (see
+/// [`perfetto_document`]): schema tag, manifest identity, and that every
+/// trace event carries the Chrome Trace Event Format's required fields.
+pub fn validate_perfetto_document(doc: &Record) -> Result<(), String> {
+    match doc.get("schema") {
+        Some(Value::Str(s)) if s == PERFETTO_SCHEMA => {}
+        Some(Value::Str(s)) => {
+            return Err(format!("schema '{s}' is not '{PERFETTO_SCHEMA}'"));
+        }
+        _ => return Err("document missing string 'schema'".to_string()),
+    }
+    let manifest = expect_record(doc, "manifest", "document")?;
+    expect_str(manifest, "tool", "manifest")?;
+    let Some(Value::Array(events)) = doc.get("traceEvents") else {
+        return Err("document missing array 'traceEvents'".to_string());
+    };
+    for (i, event) in events.iter().enumerate() {
+        let Value::Record(event) = event else {
+            return Err(format!("traceEvents[{i}] is not a record"));
+        };
+        let ctx = format!("traceEvents[{i}]");
+        expect_str(event, "name", &ctx)?;
+        expect_str(event, "ph", &ctx)?;
+        expect_f64(event, "ts", &ctx)?;
+        expect_f64(event, "dur", &ctx)?;
+        expect_u64(event, "pid", &ctx)?;
+        expect_u64(event, "tid", &ctx)?;
+    }
+    Ok(())
+}
+
+/// Validates the shape of a flight-recorder outlier document (see
+/// [`outlier_document`]).
+pub fn validate_outlier_document(doc: &Record) -> Result<(), String> {
+    match doc.get("schema") {
+        Some(Value::Str(s)) if s == OUTLIER_SCHEMA => {}
+        Some(Value::Str(s)) => {
+            return Err(format!("schema '{s}' is not '{OUTLIER_SCHEMA}'"));
+        }
+        _ => return Err("document missing string 'schema'".to_string()),
+    }
+    let manifest = expect_record(doc, "manifest", "document")?;
+    expect_str(manifest, "tool", "manifest")?;
+    let outlier = expect_record(doc, "outlier", "document")?;
+    for key in ["seq", "trace", "core", "at_cycles", "latency_cycles", "threshold_cycles"] {
+        expect_u64(outlier, key, "outlier")?;
+    }
+    expect_f64(outlier, "quantile", "outlier")?;
+    expect_array(outlier, "spans", "outlier")?;
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -436,6 +516,50 @@ mod tests {
             panic!("missing timeseries section");
         };
         assert_eq!(body.get("every_cycles"), Some(&Value::U64(100_000)));
+    }
+
+    #[test]
+    fn perfetto_document_validates_and_parses() {
+        let cfg = ExperimentConfig::tiny_for_tests().spans(4096);
+        let r = Experiment::new(cfg, || EchoWorkload::with_think(100)).run_at_rate(1.0e6);
+        let spans = r.spans.expect("spans enabled");
+        let doc = perfetto_document(&spans, &RunManifest::new().workload("echo"));
+        validate_perfetto_document(&doc).expect("perfetto document must validate");
+        let Some(Value::Array(events)) = doc.get("traceEvents") else {
+            panic!("traceEvents missing");
+        };
+        assert_eq!(events.len(), spans.len());
+        // The JSON writer must produce strict JSON (python -m json.tool in
+        // CI re-checks this end to end).
+        assert!(doc.to_json_pretty().starts_with("{\n  \"schema\""));
+    }
+
+    #[test]
+    fn outlier_document_validates() {
+        use crate::server::FlightRecorderConfig;
+        let cfg = ExperimentConfig::tiny_for_tests().flight(FlightRecorderConfig {
+            quantile: 0.9,
+            min_samples: 100,
+            window: 64,
+            max_snapshots: 2,
+        });
+        let r = Experiment::new(cfg, || EchoWorkload::with_think(100)).run_at_rate(1.0e6);
+        let outliers = r.outliers.expect("flight recorder enabled");
+        assert!(!outliers.is_empty());
+        let doc = outlier_document(&outliers[0], &RunManifest::new().seed(1));
+        validate_outlier_document(&doc).expect("outlier document must validate");
+    }
+
+    #[test]
+    fn run_document_with_profile_still_validates() {
+        let cfg = ExperimentConfig::tiny_for_tests().profiler();
+        let r = Experiment::new(cfg, || EchoWorkload::with_think(100)).run_at_rate(1.0e6);
+        let doc = run_document(&r, ReportStyle::default(), &RunManifest::new());
+        validate_run_document(&doc).expect("profile is an additive field");
+        let Some(Value::Record(report)) = doc.get("report") else {
+            panic!("report missing");
+        };
+        assert!(matches!(report.get("profile"), Some(Value::Record(_))));
     }
 
     #[test]

@@ -10,6 +10,7 @@
 
 use sweeper_sim::addr::Addr;
 use sweeper_sim::hierarchy::MemorySystem;
+use sweeper_sim::span::SpanKind;
 use sweeper_sim::Cycle;
 
 use crate::endpoints::{endpoint_of_flow, EndpointRings};
@@ -192,6 +193,11 @@ impl Nic {
             }
             Some(addr) => {
                 self.next_id += 1;
+                // The packet's trace id is born here: everything the memory
+                // system records for this delivery — and the request's later
+                // stages — correlates through it.
+                mem.set_span_trace(id.0);
+                mem.record_span(SpanKind::NicDma, core, now, delivered);
                 mem.nic_write(addr, bytes, delivered);
                 self.stats.delivered += 1;
                 Some(Delivered {
@@ -205,6 +211,8 @@ impl Nic {
     /// Executes one Work Queue entry: reads the transmit buffer through the
     /// memory system and, if `sweep_buffer` is set, sweeps it (§V-D).
     pub fn transmit(&mut self, entry: WqEntry, now: Cycle, mem: &mut MemorySystem) {
+        mem.set_span_trace(entry.packet.0);
+        mem.record_span(SpanKind::Tx, u16::MAX, now, now);
         mem.nic_read(entry.buffer_addr, entry.transfer_length, now);
         self.stats.transmitted += 1;
         if entry.sweep_buffer {

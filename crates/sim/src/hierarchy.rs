@@ -24,6 +24,7 @@ use crate::addr::{blocks_of, Addr, AddressMap, BlockAddr, RegionKind};
 use crate::cache::{CacheGeometry, Evicted, Line, LineOrigin, ReplacementPolicy, SetAssocCache, WayMask};
 use crate::coherence::Directory;
 use crate::dram::{Dram, DramConfig, DramOp};
+use crate::span::{SpanKind, SpanRecorder, SpanRing, NO_TRACE};
 use crate::stats::{MemStats, TrafficClass};
 use crate::trace::{Trace, TraceEvent, TraceKind};
 use crate::Cycle;
@@ -303,6 +304,7 @@ pub struct MemorySystem {
     ddio_mask: WayMask,
     cpu_masks: Vec<WayMask>,
     trace: Option<Trace>,
+    spans: Option<Box<SpanRecorder>>,
 }
 
 impl MemorySystem {
@@ -335,6 +337,7 @@ impl MemorySystem {
             ddio_mask: WayMask::first(cfg.ddio_ways),
             cpu_masks: vec![WayMask::ALL; cfg.cores],
             trace: None,
+            spans: None,
             cfg,
         }
     }
@@ -384,10 +387,69 @@ impl MemorySystem {
         self.trace.as_ref()
     }
 
+    /// Discards retained trace events, keeping the recorder live (end of
+    /// warmup).
+    pub fn clear_trace(&mut self) {
+        if let Some(trace) = &mut self.trace {
+            trace.clear();
+        }
+    }
+
+    /// Enables request-level span recording, retaining the most recent
+    /// `capacity` spans. When disabled, span hooks cost one branch.
+    pub fn enable_spans(&mut self, capacity: usize) {
+        self.spans = Some(Box::new(SpanRecorder::new(capacity)));
+    }
+
+    /// Disables span recording and returns the ring, if any.
+    pub fn take_spans(&mut self) -> Option<SpanRing> {
+        self.spans.take().map(|r| r.into_ring())
+    }
+
+    /// The span ring, if span recording is enabled.
+    pub fn spans(&self) -> Option<&SpanRing> {
+        self.spans.as_deref().map(SpanRecorder::ring)
+    }
+
+    /// Discards retained spans and resets the request context, keeping the
+    /// recorder live (end of warmup).
+    pub fn clear_spans(&mut self) {
+        if let Some(spans) = &mut self.spans {
+            spans.clear();
+        }
+    }
+
+    /// Sets the request context: subsequent spans *and* trace events are
+    /// tagged with this trace id until the next call. One branch when span
+    /// recording is disabled.
+    #[inline]
+    pub fn set_span_trace(&mut self, trace: u64) {
+        if let Some(spans) = &mut self.spans {
+            spans.set_trace(trace);
+        }
+    }
+
+    /// The current request context ([`NO_TRACE`] when untagged or span
+    /// recording is disabled).
+    #[inline]
+    pub fn span_trace(&self) -> u64 {
+        self.spans.as_deref().map_or(NO_TRACE, SpanRecorder::trace)
+    }
+
+    /// Records one span under the current request context. One branch when
+    /// span recording is disabled.
+    #[inline]
+    pub fn record_span(&mut self, kind: SpanKind, core: u16, start: Cycle, end: Cycle) {
+        if let Some(spans) = &mut self.spans {
+            spans.record(kind, core, start, end);
+        }
+    }
+
     #[inline]
     fn trace_event(&mut self, at: Cycle, kind: TraceKind, core: u16, block: BlockAddr, blocks: u32, latency: Cycle) {
-        if let Some(trace) = &mut self.trace {
-            trace.record(TraceEvent { at, kind, core, block, blocks, latency });
+        let trace = self.span_trace();
+        if let Some(rec) = &mut self.trace {
+            rec.record(TraceEvent { at, kind, core, block, blocks, latency, trace });
         }
     }
 
@@ -699,6 +761,7 @@ impl MemorySystem {
         self.stats.note_core_dram_read(core);
         let acc = self.dram.access(block, now, DramOp::Read);
         latency += acc.latency;
+        self.record_span(SpanKind::DramQueue, core, now, now + acc.latency);
         latency += self.fill_private(core, block, false, now);
         if write {
             self.l1[c].mark_dirty(block);
@@ -868,6 +931,11 @@ impl MemorySystem {
     /// configured injection policy (full-block overwrites).
     pub fn nic_write(&mut self, addr: Addr, len: u64, now: Cycle) -> NicAccess {
         self.trace_event(now, TraceKind::NicWrite, u16::MAX, addr.block(), crate::addr::blocks_for_len(len) as u32, 0);
+        if self.cfg.injection == InjectionPolicy::Ddio {
+            // One instantaneous marker per delivery: the packet write-
+            // allocated into the LLC's DDIO ways.
+            self.record_span(SpanKind::LlcFill, u16::MAX, now, now);
+        }
         let mut out = NicAccess::default();
         for block in blocks_of(addr, len) {
             self.llc.prefetch(block);
@@ -937,7 +1005,8 @@ impl MemorySystem {
                         self.llc_insert(block, false, LineOrigin::Cpu, WayMask::ALL);
                         self.writeback(block, now);
                     }
-                    self.dram.access(block, now, DramOp::Read);
+                    let acc = self.dram.access(block, now, DramOp::Read);
+                    self.record_span(SpanKind::DramQueue, u16::MAX, now, now + acc.latency);
                     self.stats.dram_reads.bump(TrafficClass::NicTxRd);
                     out.dram_transfers += 1;
                 }
@@ -950,7 +1019,8 @@ impl MemorySystem {
                         self.stats.llc_hits += 1;
                     } else {
                         self.stats.llc_misses += 1;
-                        self.dram.access(block, now, DramOp::Read);
+                        let acc = self.dram.access(block, now, DramOp::Read);
+                        self.record_span(SpanKind::DramQueue, u16::MAX, now, now + acc.latency);
                         self.stats.dram_reads.bump(TrafficClass::NicTxRd);
                         out.dram_transfers += 1;
                     }
@@ -996,6 +1066,7 @@ impl MemorySystem {
         }
         let latency = blocks * self.cfg.sweep_issue_cost;
         self.trace_event(now, TraceKind::Sweep, u16::MAX, addr.block(), blocks as u32, latency);
+        self.record_span(SpanKind::Sweep, u16::MAX, now, now + latency);
         latency
     }
 

@@ -16,7 +16,10 @@
 //!   classes used in the paper's figures,
 //! * a [structured telemetry layer](telemetry) — a `Value`/`Record` tree
 //!   with JSON and CSV writers that every machine-readable artifact in the
-//!   workspace serializes through.
+//!   workspace serializes through,
+//! * [request-level causal spans](span) — typed per-stage spans tagged with
+//!   a trace id, a hierarchical cycle-attribution profile, and the
+//!   Perfetto-compatible export built on them.
 //!
 //! # Example
 //!
@@ -42,6 +45,7 @@ pub mod coherence;
 pub mod dram;
 pub mod engine;
 pub mod hierarchy;
+pub mod span;
 pub mod stats;
 pub mod telemetry;
 pub mod trace;

@@ -1,0 +1,570 @@
+//! Request-level causal spans, cycle-attribution profiles, and outlier
+//! snapshots.
+//!
+//! A *span* is one stage of one request's life — NIC DMA, ring wait, LLC
+//! fill, CPU reads, application service, sweep, transmit, DRAM queuing —
+//! tagged with the request's trace id (its [`PacketId`] value) so the
+//! stages of a single request can be correlated across the NIC, the memory
+//! system, and the server engine. Spans are recorded into a bounded,
+//! allocation-free [`SpanRing`] with the same discipline as
+//! [`trace`](crate::trace): opt-in per memory system, a single branch on
+//! the hot path when disabled.
+//!
+//! Three consumers build on the ring:
+//!
+//! * [`perfetto_events`] renders retained spans as Chrome-trace-event
+//!   JSON values (`ph: "X"` complete events) that `ui.perfetto.dev` opens
+//!   directly;
+//! * [`ProfileNode`] is the hierarchical cycle/DRAM-attribution tree the
+//!   profiler reports through the `ReportSink` traversal;
+//! * [`OutlierSnapshot`] captures the span window surrounding a
+//!   tail-latency outlier for the flight recorder.
+//!
+//! The trace id of untagged events is [`NO_TRACE`]; exports omit it.
+
+use crate::stats::ClassCounts;
+use crate::telemetry::{Record, Value};
+use crate::Cycle;
+
+/// Trace id of events recorded outside any request context.
+pub const NO_TRACE: u64 = u64::MAX;
+
+/// The pipeline stage a span attributes its cycles to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SpanKind {
+    /// NIC DMA of the arriving packet (arrival → delivered; includes
+    /// memory backpressure stalls).
+    NicDma,
+    /// Delivered packet waiting in the RX ring for its core.
+    RxRingWait,
+    /// DDIO write-allocate of the packet into the LLC's DDIO ways.
+    LlcFill,
+    /// CPU demand reads of the request's data (RX buffer, application
+    /// state).
+    CpuRead,
+    /// Application service work: compute and stores.
+    AppService,
+    /// `relinquish`/`clsweep` of a consumed buffer (§V-A, §V-D).
+    Sweep,
+    /// Transmit-path Work Queue execution.
+    Tx,
+    /// Time spent queued in a DRAM channel behind other transfers.
+    DramQueue,
+}
+
+impl SpanKind {
+    /// Every kind, in pipeline order.
+    pub const ALL: [SpanKind; 8] = [
+        SpanKind::NicDma,
+        SpanKind::RxRingWait,
+        SpanKind::LlcFill,
+        SpanKind::CpuRead,
+        SpanKind::AppService,
+        SpanKind::Sweep,
+        SpanKind::Tx,
+        SpanKind::DramQueue,
+    ];
+
+    /// Stable label used by exports (Perfetto category, profile keys).
+    pub fn label(self) -> &'static str {
+        match self {
+            SpanKind::NicDma => "nic_dma",
+            SpanKind::RxRingWait => "rx_ring_wait",
+            SpanKind::LlcFill => "llc_fill",
+            SpanKind::CpuRead => "cpu_read",
+            SpanKind::AppService => "app_service",
+            SpanKind::Sweep => "sweep",
+            SpanKind::Tx => "tx",
+            SpanKind::DramQueue => "dram_queue",
+        }
+    }
+}
+
+impl std::fmt::Display for SpanKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One recorded span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Trace id of the owning request ([`NO_TRACE`] when untagged).
+    pub trace: u64,
+    /// Stage.
+    pub kind: SpanKind,
+    /// Core the stage ran on (`u16::MAX` for NIC/memory-side stages).
+    pub core: u16,
+    /// Start cycle.
+    pub start: Cycle,
+    /// End cycle (`start` for instantaneous events).
+    pub end: Cycle,
+}
+
+impl SpanEvent {
+    /// Span duration in cycles.
+    pub fn duration(&self) -> Cycle {
+        self.end.saturating_sub(self.start)
+    }
+
+    /// Structured export for the telemetry layer.
+    pub fn to_record(&self) -> Record {
+        let mut rec = Record::new();
+        if self.trace != NO_TRACE {
+            rec.push("trace", self.trace);
+        }
+        rec.push("kind", self.kind.label());
+        rec.push("core", self.core as u64);
+        rec.push("start", self.start);
+        rec.push("end", self.end);
+        rec
+    }
+}
+
+/// Bounded ring of span events (same discipline as
+/// [`Trace`](crate::trace::Trace)).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRing {
+    ring: Vec<SpanEvent>,
+    head: usize,
+    recorded: u64,
+}
+
+impl SpanRing {
+    /// Creates a ring retaining the last `capacity` spans.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "span ring capacity must be positive");
+        Self {
+            ring: Vec::with_capacity(capacity),
+            head: 0,
+            recorded: 0,
+        }
+    }
+
+    /// Records one span.
+    pub fn record(&mut self, event: SpanEvent) {
+        if self.ring.len() < self.ring.capacity() {
+            self.ring.push(event);
+        } else {
+            self.ring[self.head] = event;
+            self.head = (self.head + 1) % self.ring.len();
+        }
+        self.recorded += 1;
+    }
+
+    /// Total spans recorded (including those that fell out of the window).
+    pub fn recorded(&self) -> u64 {
+        self.recorded
+    }
+
+    /// Number of retained spans.
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// Whether no spans were retained.
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Retained spans, oldest first.
+    pub fn events(&self) -> Vec<SpanEvent> {
+        let mut out = Vec::with_capacity(self.ring.len());
+        out.extend_from_slice(&self.ring[self.head..]);
+        out.extend_from_slice(&self.ring[..self.head]);
+        out
+    }
+
+    /// Retained spans of one kind, oldest first.
+    pub fn events_of(&self, kind: SpanKind) -> Vec<SpanEvent> {
+        self.events().into_iter().filter(|e| e.kind == kind).collect()
+    }
+
+    /// Retained spans of one request, oldest first.
+    pub fn events_of_trace(&self, trace: u64) -> Vec<SpanEvent> {
+        self.events().into_iter().filter(|e| e.trace == trace).collect()
+    }
+
+    /// Discards all retained spans (the total count is kept).
+    pub fn clear(&mut self) {
+        self.ring.clear();
+        self.head = 0;
+    }
+}
+
+/// Live span-recording state inside a [`MemorySystem`]
+/// (crate::hierarchy::MemorySystem): the ring plus the current request
+/// context every recorded span is tagged with.
+#[derive(Debug, Clone)]
+pub struct SpanRecorder {
+    ring: SpanRing,
+    trace: u64,
+}
+
+impl SpanRecorder {
+    /// A recorder retaining the last `capacity` spans, initially outside
+    /// any request context.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            ring: SpanRing::new(capacity),
+            trace: NO_TRACE,
+        }
+    }
+
+    /// Sets the trace id subsequent spans (and trace events) are tagged
+    /// with.
+    #[inline]
+    pub fn set_trace(&mut self, trace: u64) {
+        self.trace = trace;
+    }
+
+    /// The current trace id.
+    #[inline]
+    pub fn trace(&self) -> u64 {
+        self.trace
+    }
+
+    /// Records one span under the current trace id.
+    #[inline]
+    pub fn record(&mut self, kind: SpanKind, core: u16, start: Cycle, end: Cycle) {
+        self.ring.record(SpanEvent {
+            trace: self.trace,
+            kind,
+            core,
+            start,
+            end,
+        });
+    }
+
+    /// The underlying ring.
+    pub fn ring(&self) -> &SpanRing {
+        &self.ring
+    }
+
+    /// Consumes the recorder, yielding its ring.
+    pub fn into_ring(self) -> SpanRing {
+        self.ring
+    }
+
+    /// Discards retained spans and resets the request context.
+    pub fn clear(&mut self) {
+        self.ring.clear();
+        self.trace = NO_TRACE;
+    }
+}
+
+/// Microseconds per cycle, the unit Chrome trace events use for `ts`/`dur`.
+fn cycles_to_us(cycles: Cycle) -> f64 {
+    crate::engine::cycles_to_ns(cycles) / 1e3
+}
+
+/// Renders spans as Chrome-trace-event values (`ph: "X"` complete events,
+/// timestamps in microseconds of simulated time), one per span. The
+/// resulting array is the `traceEvents` section of a Perfetto-loadable
+/// document; each span's stage is both the event name and its category, the
+/// core its `tid`, and the trace id rides in `args` so Perfetto's query
+/// engine can group a request's stages.
+pub fn perfetto_events(events: &[SpanEvent]) -> Vec<Value> {
+    events
+        .iter()
+        .map(|e| {
+            let mut args = Record::new();
+            if e.trace != NO_TRACE {
+                args.push("trace_id", e.trace);
+            }
+            args.push("start_cycles", e.start);
+            args.push("cycles", e.duration());
+            Value::from(
+                Record::new()
+                    .with("name", e.kind.label())
+                    .with("cat", e.kind.label())
+                    .with("ph", "X")
+                    .with("ts", cycles_to_us(e.start))
+                    .with("dur", cycles_to_us(e.duration()))
+                    .with("pid", 1u64)
+                    .with("tid", e.core as u64)
+                    .with("args", args),
+            )
+        })
+        .collect()
+}
+
+/// One node of the hierarchical cycle-attribution profile.
+///
+/// `cycles` and `count` are this node's own totals; `classes` attributes
+/// the DRAM transfers observed while the stage ran, per
+/// [`TrafficClass`](crate::stats::TrafficClass). Children refine a stage
+/// into sub-stages; a well-formed profile keeps the invariant that a
+/// parent's cycles equal the sum of its children's (enforced by the
+/// profiler's construction, checked by tests).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ProfileNode {
+    /// Stage label (stable machine key).
+    pub label: String,
+    /// Simulated cycles attributed to this stage.
+    pub cycles: u64,
+    /// Times the stage executed.
+    pub count: u64,
+    /// DRAM transfers attributed to the stage, per traffic class.
+    pub classes: ClassCounts,
+    /// Sub-stages.
+    pub children: Vec<ProfileNode>,
+}
+
+impl ProfileNode {
+    /// An empty node.
+    pub fn new(label: impl Into<String>) -> Self {
+        Self {
+            label: label.into(),
+            ..Self::default()
+        }
+    }
+
+    /// DRAM transfers attributed directly to this stage.
+    pub fn dram_accesses(&self) -> u64 {
+        self.classes.total()
+    }
+
+    /// Sum of the children's cycles.
+    pub fn child_cycles(&self) -> u64 {
+        self.children.iter().map(|c| c.cycles).sum()
+    }
+
+    /// The child named `label`, created on first use.
+    pub fn child_mut(&mut self, label: &str) -> &mut ProfileNode {
+        if let Some(i) = self.children.iter().position(|c| c.label == label) {
+            return &mut self.children[i];
+        }
+        self.children.push(ProfileNode::new(label));
+        self.children.last_mut().expect("just pushed")
+    }
+
+    /// Structured export for the telemetry layer, recursing into children.
+    pub fn to_record(&self) -> Record {
+        Record::new()
+            .with("label", self.label.as_str())
+            .with("cycles", self.cycles)
+            .with("count", self.count)
+            .with("dram_accesses", self.dram_accesses())
+            .with("classes", self.classes.to_record())
+            .with(
+                "children",
+                self.children
+                    .iter()
+                    .map(|c| Value::from(c.to_record()))
+                    .collect::<Vec<_>>(),
+            )
+    }
+}
+
+/// The span window captured around one tail-latency outlier.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OutlierSnapshot {
+    /// Snapshot ordinal within the run (0-based).
+    pub seq: u64,
+    /// Trace id of the outlier request.
+    pub trace: u64,
+    /// Core that served the request.
+    pub core: u16,
+    /// Completion cycle.
+    pub at: Cycle,
+    /// The request's end-to-end latency, cycles.
+    pub latency: Cycle,
+    /// The online percentile threshold the latency exceeded, cycles.
+    pub threshold: Cycle,
+    /// The quantile the threshold estimates (e.g. 0.999).
+    pub quantile: f64,
+    /// Retained spans surrounding the completion (oldest first).
+    pub window: Vec<SpanEvent>,
+}
+
+impl OutlierSnapshot {
+    /// Structured export for the telemetry layer.
+    pub fn to_record(&self) -> Record {
+        Record::new()
+            .with("seq", self.seq)
+            .with("trace", self.trace)
+            .with("core", self.core as u64)
+            .with("at_cycles", self.at)
+            .with("latency_cycles", self.latency)
+            .with("threshold_cycles", self.threshold)
+            .with("quantile", self.quantile)
+            .with(
+                "spans",
+                self.window
+                    .iter()
+                    .map(|e| Value::from(e.to_record()))
+                    .collect::<Vec<_>>(),
+            )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(start: Cycle) -> SpanEvent {
+        SpanEvent {
+            trace: 7,
+            kind: SpanKind::CpuRead,
+            core: 0,
+            start,
+            end: start + 10,
+        }
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        for kind in SpanKind::ALL {
+            assert!(seen.insert(kind.label()), "duplicate label {kind}");
+        }
+    }
+
+    #[test]
+    fn ring_keeps_most_recent_window() {
+        let mut r = SpanRing::new(4);
+        for i in 0..10 {
+            r.record(ev(i));
+        }
+        let events = r.events();
+        assert_eq!(events.len(), 4);
+        assert_eq!(
+            events.iter().map(|e| e.start).collect::<Vec<_>>(),
+            vec![6, 7, 8, 9]
+        );
+        assert_eq!(r.recorded(), 10);
+        r.clear();
+        assert!(r.is_empty());
+        assert_eq!(r.recorded(), 10);
+    }
+
+    #[test]
+    fn filters_by_kind_and_trace() {
+        let mut r = SpanRing::new(8);
+        r.record(ev(1));
+        r.record(SpanEvent {
+            trace: 9,
+            kind: SpanKind::Sweep,
+            ..ev(2)
+        });
+        assert_eq!(r.events_of(SpanKind::Sweep).len(), 1);
+        assert_eq!(r.events_of(SpanKind::CpuRead).len(), 1);
+        assert_eq!(r.events_of_trace(7).len(), 1);
+        assert_eq!(r.events_of_trace(9).len(), 1);
+        assert_eq!(r.events_of_trace(0).len(), 0);
+    }
+
+    #[test]
+    fn recorder_tags_the_current_trace() {
+        let mut rec = SpanRecorder::new(4);
+        rec.record(SpanKind::NicDma, 0, 0, 5);
+        rec.set_trace(42);
+        rec.record(SpanKind::Tx, 1, 5, 5);
+        let events = rec.ring().events();
+        assert_eq!(events[0].trace, NO_TRACE);
+        assert_eq!(events[1].trace, 42);
+        assert_eq!(events[1].duration(), 0);
+    }
+
+    #[test]
+    fn perfetto_events_carry_chrome_fields() {
+        // 3200 cycles = 1 µs at the 3.2 GHz clock.
+        let events = vec![SpanEvent {
+            trace: 3,
+            kind: SpanKind::NicDma,
+            core: 5,
+            start: 3200,
+            end: 6400,
+        }];
+        let out = perfetto_events(&events);
+        assert_eq!(out.len(), 1);
+        let Value::Record(rec) = &out[0] else {
+            panic!("perfetto event must be a record");
+        };
+        assert_eq!(rec.get("name"), Some(&Value::Str("nic_dma".into())));
+        assert_eq!(rec.get("ph"), Some(&Value::Str("X".into())));
+        assert_eq!(rec.get("ts"), Some(&Value::F64(1.0)));
+        assert_eq!(rec.get("dur"), Some(&Value::F64(1.0)));
+        assert_eq!(rec.get("tid"), Some(&Value::U64(5)));
+        let Some(Value::Record(args)) = rec.get("args") else {
+            panic!("args missing");
+        };
+        assert_eq!(args.get("trace_id"), Some(&Value::U64(3)));
+        assert_eq!(args.get("cycles"), Some(&Value::U64(3200)));
+    }
+
+    #[test]
+    fn untagged_span_omits_trace_id() {
+        let events = vec![SpanEvent {
+            trace: NO_TRACE,
+            kind: SpanKind::Sweep,
+            core: u16::MAX,
+            start: 0,
+            end: 0,
+        }];
+        let Value::Record(rec) = &perfetto_events(&events)[0] else {
+            panic!("record expected");
+        };
+        let Some(Value::Record(args)) = rec.get("args") else {
+            panic!("args missing");
+        };
+        assert!(args.get("trace_id").is_none());
+        assert!(events[0].to_record().get("trace").is_none());
+    }
+
+    #[test]
+    fn profile_node_finds_or_creates_children() {
+        let mut root = ProfileNode::new("request");
+        root.child_mut("service").cycles += 10;
+        root.child_mut("service").cycles += 5;
+        root.child_mut("nic_dma").cycles += 3;
+        assert_eq!(root.children.len(), 2);
+        assert_eq!(root.children[0].cycles, 15);
+        assert_eq!(root.child_cycles(), 18);
+    }
+
+    #[test]
+    fn profile_record_recurses() {
+        let mut root = ProfileNode::new("request");
+        root.cycles = 20;
+        root.count = 2;
+        root.child_mut("service").cycles = 20;
+        let rec = root.to_record();
+        assert_eq!(rec.get("cycles"), Some(&Value::U64(20)));
+        let Some(Value::Array(children)) = rec.get("children") else {
+            panic!("children missing");
+        };
+        assert_eq!(children.len(), 1);
+    }
+
+    #[test]
+    fn outlier_snapshot_exports_window() {
+        let snap = OutlierSnapshot {
+            seq: 0,
+            trace: 11,
+            core: 2,
+            at: 500,
+            latency: 400,
+            threshold: 300,
+            quantile: 0.999,
+            window: vec![ev(100)],
+        };
+        let rec = snap.to_record();
+        assert_eq!(rec.get("latency_cycles"), Some(&Value::U64(400)));
+        let Some(Value::Array(spans)) = rec.get("spans") else {
+            panic!("spans missing");
+        };
+        assert_eq!(spans.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        SpanRing::new(0);
+    }
+}

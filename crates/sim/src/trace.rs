@@ -10,6 +10,7 @@
 //! of how many were recorded in total. `to_csv` exports the retained window.
 
 use crate::addr::BlockAddr;
+use crate::span::NO_TRACE;
 use crate::telemetry::{CsvTable, Value};
 use crate::Cycle;
 
@@ -59,6 +60,10 @@ pub struct TraceEvent {
     pub blocks: u32,
     /// Latency observed by the requester (0 for posted operations).
     pub latency: Cycle,
+    /// Trace id of the request the event belongs to
+    /// ([`NO_TRACE`](crate::span::NO_TRACE) when span tracing is off or the
+    /// event happened outside any request context).
+    pub trace: u64,
 }
 
 /// Bounded ring of trace events.
@@ -123,21 +128,40 @@ impl Trace {
     /// Like [`Trace::to_csv`], with extra caller-supplied manifest comment
     /// lines (run configuration, seed, …) prepended after the artifact's
     /// own.
+    ///
+    /// When span tracing tagged any retained event with a request trace id,
+    /// the export grows a trailing `trace` column (empty for untagged
+    /// events). Runs without span tracing keep the original column set
+    /// byte-identical.
     pub fn to_csv_with_comments(&self, comments: &[(String, String)]) -> String {
-        let mut table = CsvTable::new(&["cycle", "kind", "core", "block", "blocks", "latency"])
+        let tagged = self.ring.iter().any(|e| e.trace != NO_TRACE);
+        let headers: &[&str] = if tagged {
+            &["cycle", "kind", "core", "block", "blocks", "latency", "trace"]
+        } else {
+            &["cycle", "kind", "core", "block", "blocks", "latency"]
+        };
+        let mut table = CsvTable::new(headers)
             .comment("artifact", "memtrace")
             .comment("events_recorded", self.recorded.to_string())
             .comment("events_retained", self.ring.len().to_string())
             .comments(comments);
         for e in self.events() {
-            table.value_row(vec![
+            let mut row = vec![
                 Value::U64(e.at),
                 Value::Str(e.kind.label().to_string()),
                 Value::U64(e.core as u64),
                 Value::U64(e.block.0),
                 Value::U64(e.blocks as u64),
                 Value::U64(e.latency),
-            ]);
+            ];
+            if tagged {
+                row.push(if e.trace == NO_TRACE {
+                    Value::Str(String::new())
+                } else {
+                    Value::U64(e.trace)
+                });
+            }
+            table.value_row(row);
         }
         table.to_csv()
     }
@@ -161,6 +185,7 @@ mod tests {
             block: BlockAddr(at),
             blocks: 1,
             latency: 4,
+            trace: NO_TRACE,
         }
     }
 
@@ -214,6 +239,18 @@ mod tests {
         assert!(csv.contains("# events_recorded: 1\n"));
         assert!(csv.contains("\ncycle,kind,core,block,blocks,latency\n"));
         assert!(csv.contains("5,cpu_rd,0,5,1,4"));
+    }
+
+    #[test]
+    fn csv_gains_trace_column_only_when_tagged() {
+        let mut t = Trace::new(4);
+        t.record(ev(5));
+        t.record(TraceEvent { trace: 17, ..ev(6) });
+        let csv = t.to_csv();
+        assert!(csv.contains("\ncycle,kind,core,block,blocks,latency,trace\n"));
+        // Untagged events leave the trailing cell empty.
+        assert!(csv.contains("5,cpu_rd,0,5,1,4,\n"));
+        assert!(csv.contains("6,cpu_rd,0,6,1,4,17"));
     }
 
     #[test]

@@ -275,6 +275,52 @@ proptest! {
             + dram.channel_counts().iter().map(|(_, w)| w).sum::<u64>());
     }
 
+    /// `percentile(q)` is monotone non-decreasing in q — the flight
+    /// recorder's online outlier threshold depends on this: raising the
+    /// quantile must never lower the threshold.
+    #[test]
+    fn histogram_percentile_is_monotone_in_q(
+        samples in vec(0u64..2_000_000, 1..400),
+        raw_qs in vec(0u32..1_000_001, 2..32),
+    ) {
+        let mut h = Histogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        let mut qs: Vec<f64> = raw_qs.iter().map(|&r| r as f64 / 1e6).collect();
+        qs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut prev = h.percentile(qs[0]);
+        for &q in &qs[1..] {
+            let cur = h.percentile(q);
+            prop_assert!(
+                cur >= prev,
+                "percentile({q}) = {cur} dropped below previous {prev}"
+            );
+            prev = cur;
+        }
+        // The extremes bracket everything.
+        prop_assert!(h.percentile(0.0) <= h.percentile(1.0));
+        prop_assert!(h.percentile(1.0) <= h.max());
+    }
+
+    /// The CDF is monotone in both coordinates, ends at fraction 1.0, and
+    /// its total mass equals the sample count.
+    #[test]
+    fn histogram_cdf_is_monotone_and_complete(samples in vec(0u64..2_000_000, 1..400)) {
+        let mut h = Histogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        let cdf = h.cdf();
+        prop_assert!(!cdf.is_empty());
+        for w in cdf.windows(2) {
+            prop_assert!(w[1].0 > w[0].0, "cdf values not strictly increasing");
+            prop_assert!(w[1].1 >= w[0].1, "cdf fractions not monotone");
+        }
+        let last = cdf.last().unwrap();
+        prop_assert!((last.1 - 1.0).abs() < 1e-12, "cdf must end at 1.0");
+    }
+
     /// blocks_of covers exactly the bytes of the range: union of block byte
     /// ranges ⊇ [addr, addr+len) and every block intersects the range.
     #[test]
@@ -297,5 +343,64 @@ proptest! {
                 prop_assert!(lo < start + len && lo + 64 > start);
             }
         }
+    }
+}
+
+/// Deterministic edge cases the flight recorder's online threshold relies on.
+mod histogram_edges {
+    use sweeper_sim::stats::Histogram;
+
+    #[test]
+    fn empty_histogram_percentile_is_zero_and_cdf_empty() {
+        let h = Histogram::new();
+        for q in [0.0, 0.5, 0.999, 1.0] {
+            assert_eq!(h.percentile(q), 0, "empty histogram at q={q}");
+        }
+        assert!(h.cdf().is_empty());
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn single_bucket_dominates_every_quantile() {
+        let mut h = Histogram::new();
+        for _ in 0..17 {
+            h.record(42);
+        }
+        for q in [0.0, 0.25, 0.5, 0.999, 1.0] {
+            assert_eq!(h.percentile(q), 42, "single-value histogram at q={q}");
+        }
+        assert_eq!(h.cdf(), vec![(42, 1.0)]);
+    }
+
+    #[test]
+    fn single_geometric_bucket_reports_its_lower_bound() {
+        let mut h = Histogram::new();
+        // Value above LINEAR_MAX lands in a geometric bucket; the estimate
+        // is the bucket's lower bound, never above the recorded value.
+        h.record(100_000);
+        let est = h.percentile(0.5);
+        assert!(est <= 100_000);
+        assert!(est as f64 >= 100_000.0 * 0.96);
+        assert_eq!(h.percentile(1.0), est);
+    }
+
+    #[test]
+    fn q_zero_returns_minimum_and_q_one_returns_maximum_bucket() {
+        let mut h = Histogram::new();
+        for v in [3, 7, 500, 900] {
+            h.record(v);
+        }
+        // q=0 clamps to the first sample; q=1 walks to the last. All values
+        // are below LINEAR_MAX so both are exact.
+        assert_eq!(h.percentile(0.0), 3);
+        assert_eq!(h.percentile(1.0), 900);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile out of range")]
+    fn percentile_rejects_out_of_range_quantiles() {
+        Histogram::new().percentile(1.5);
     }
 }

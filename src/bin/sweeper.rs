@@ -5,8 +5,10 @@
 //!
 //! ```text
 //! sweeper run     --rate 20 --workload kvs --ddio 2 --sweeper
+//! sweeper run     --rate 20 --profiler --perfetto trace.json
 //! sweeper peak    --workload kvs --buffers 2048 --channels 3
 //! sweeper sweep   --lo 5 --hi 60 --points 8 --workload l3fwd --jobs 8
+//! sweeper trace   --rate 20 --events 65536 > memtrace.csv
 //! sweeper figures
 //! sweeper figure fig5 --jobs 8 --profile fast
 //! sweeper info
@@ -23,10 +25,12 @@ use sweeper::core::loadsweep::{LoadSweep, RateGrid};
 use sweeper::core::profile::RunProfile;
 use sweeper::core::report::{emit, text_report, CsvSink, ReportStyle};
 use sweeper::core::scenario::{Scenario, ScenarioWorkload};
-use sweeper::core::server::{RunOptions, RunReport, SamplerConfig, SweeperMode};
+use sweeper::core::server::{
+    FlightRecorderConfig, RunOptions, RunReport, SamplerConfig, SweeperMode,
+};
 use sweeper::core::telemetry::{
-    document, run_document, timeseries_document, OutputFormat, Record, RunManifest,
-    LOADSWEEP_SCHEMA,
+    document, outlier_document, perfetto_document, run_document, timeseries_document,
+    OutputFormat, Record, RunManifest, LOADSWEEP_SCHEMA,
 };
 use sweeper::sim::hierarchy::{InjectionPolicy, MachineConfig};
 use sweeper::workloads::kvs::{KvsConfig, MicaKvs, HEADER_BYTES};
@@ -43,6 +47,8 @@ COMMANDS:
     run      simulate one operating point and print its report
     peak     search the peak sustainable throughput under the p99 SLO
     sweep    run a load-latency sweep and print CSV
+    trace    simulate one operating point and dump the memory-event trace
+             as CSV on stdout (report summary goes to stderr)
     figures  list the paper figures the registry can regenerate
     figure <NAME>  regenerate one figure (table1, fig1..fig10, ablations)
     info     print the simulated machine (Table I)
@@ -75,6 +81,26 @@ FLAGS (all optional):
                                        JSON otherwise)
     --sample-every <CYCLES>            sampling period; implies an enabled
                                        sampler                [1000000]
+    --trace-spans                      record request-level causal spans
+                                       (nic_dma, rx_ring_wait, cpu_read, ...)
+    --perfetto <PATH>                  write retained spans as a Chrome-
+                                       trace-event JSON (open on
+                                       ui.perfetto.dev); implies --trace-spans
+                                       (run/peak only)
+    --profiler                         attribute simulated cycles and DRAM
+                                       accesses per pipeline stage; the tree
+                                       rides the run/peak report in every
+                                       --format (the name avoids the
+                                       run-length --profile flag)
+    --flight-recorder                  snapshot the span window around
+                                       requests beyond the online latency
+                                       quantile into --outliers (run/peak
+                                       only); implies span recording
+    --flight-quantile <Q>              flight-recorder threshold quantile,
+                                       0 < Q < 1               [0.999]
+    --outliers <DIR>                   flight-recorder output directory
+                                       [results/outliers]
+    --events <N>                       span/trace ring capacity [65536]
     --zero-copy                        l3fwd transmits in place
     --scenario <FILE>                  load a key=value scenario file first;
                                        later flags override its values
@@ -111,6 +137,13 @@ struct Cli {
     format: OutputFormat,
     timeseries: Option<String>,
     sample_every: Option<u64>,
+    trace_spans: bool,
+    perfetto: Option<String>,
+    profiler: bool,
+    flight_recorder: bool,
+    flight_quantile: Option<f64>,
+    outliers: String,
+    events: usize,
 }
 
 impl Default for Cli {
@@ -141,6 +174,13 @@ impl Default for Cli {
             format: OutputFormat::Text,
             timeseries: None,
             sample_every: None,
+            trace_spans: false,
+            perfetto: None,
+            profiler: false,
+            flight_recorder: false,
+            flight_quantile: None,
+            outliers: "results/outliers".into(),
+            events: 65_536,
         }
     }
 }
@@ -224,8 +264,26 @@ fn parse(args: &[String]) -> Result<Cli, String> {
             "--format" => cli.format = value(flag)?.parse()?,
             "--timeseries" => cli.timeseries = Some(value(flag)?),
             "--sample-every" => cli.sample_every = Some(num(&value(flag)?)?),
+            "--trace-spans" => cli.trace_spans = true,
+            "--perfetto" => cli.perfetto = Some(value(flag)?),
+            "--profiler" => cli.profiler = true,
+            "--flight-recorder" => cli.flight_recorder = true,
+            "--flight-quantile" => cli.flight_quantile = Some(fnum(&value(flag)?)?),
+            "--outliers" => cli.outliers = value(flag)?,
+            "--events" => cli.events = num(&value(flag)?)?,
             other => return Err(format!("unknown flag '{other}' (see `sweeper help`)")),
         }
+    }
+    if let Some(q) = cli.flight_quantile {
+        if !(q > 0.0 && q < 1.0) {
+            return Err(format!("--flight-quantile must be in (0, 1), got {q}"));
+        }
+        if !cli.flight_recorder {
+            return Err("--flight-quantile needs --flight-recorder".to_string());
+        }
+    }
+    if cli.events == 0 {
+        return Err("--events must be positive".to_string());
     }
     Ok(cli)
 }
@@ -265,6 +323,21 @@ fn build_experiment(cli: &Cli) -> Result<Experiment, String> {
     if cli.timeseries.is_some() || cli.sample_every.is_some() {
         let every = cli.sample_every.unwrap_or(1_000_000);
         cfg = cfg.sampling(SamplerConfig::every(every));
+    }
+    if cli.trace_spans || cli.perfetto.is_some() {
+        cfg = cfg.spans(cli.events);
+    }
+    if cli.profiler {
+        cfg = cfg.profiler();
+    }
+    if cli.flight_recorder {
+        cfg = cfg.flight(FlightRecorderConfig {
+            quantile: cli.flight_quantile.unwrap_or(FlightRecorderConfig::default().quantile),
+            ..FlightRecorderConfig::default()
+        });
+    }
+    if cli.command == "trace" {
+        cfg = cfg.memtrace(cli.events);
     }
     let exp = match cli.workload.as_str() {
         "kvs" => {
@@ -337,6 +410,42 @@ fn write_timeseries(cli: &Cli, report: &RunReport, manifest: &RunManifest) -> Re
     Ok(())
 }
 
+/// Writes the `--perfetto` span export and the flight recorder's outlier
+/// snapshots (`--outliers <DIR>/<n>.json`), when the flags enabled them.
+fn write_observability(cli: &Cli, report: &RunReport, manifest: &RunManifest) -> Result<(), String> {
+    if let Some(path) = &cli.perfetto {
+        let spans = report
+            .spans
+            .as_ref()
+            .ok_or("run produced no spans (span recording was not enabled)")?;
+        let doc = perfetto_document(spans, manifest);
+        std::fs::write(path, format!("{}\n", doc.to_json_pretty()))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!(
+            "wrote perfetto trace ({} spans retained of {} recorded) to {path}",
+            spans.len(),
+            spans.recorded()
+        );
+    }
+    if let Some(outliers) = &report.outliers {
+        let dir = std::path::Path::new(&cli.outliers);
+        std::fs::create_dir_all(dir)
+            .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+        for snapshot in outliers {
+            let path = dir.join(format!("{}.json", snapshot.seq));
+            let doc = outlier_document(snapshot, manifest);
+            std::fs::write(&path, format!("{}\n", doc.to_json_pretty()))
+                .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        }
+        eprintln!(
+            "flight recorder captured {} outlier snapshot(s) in {}",
+            outliers.len(),
+            dir.display()
+        );
+    }
+    Ok(())
+}
+
 /// Resolves the fleet/profile context: environment first, flags override.
 fn fig_context(cli: &Cli) -> FigContext {
     let mut ctx = FigContext::from_env();
@@ -401,7 +510,9 @@ fn main() -> ExitCode {
                 let t = std::time::Instant::now();
                 let report = exp.run_at_rate(cli.rate * 1e6);
                 let manifest = cli_manifest(&cli, &exp).wall_secs(t.elapsed().as_secs_f64());
-                if let Err(e) = write_timeseries(&cli, &report, &manifest) {
+                if let Err(e) = write_timeseries(&cli, &report, &manifest)
+                    .and_then(|()| write_observability(&cli, &report, &manifest))
+                {
                     eprintln!("error: {e}");
                     return ExitCode::FAILURE;
                 }
@@ -421,7 +532,9 @@ fn main() -> ExitCode {
                 let t = std::time::Instant::now();
                 let peak = exp.find_peak(PeakCriteria::default());
                 let manifest = cli_manifest(&cli, &exp).wall_secs(t.elapsed().as_secs_f64());
-                if let Err(e) = write_timeseries(&cli, &peak.report, &manifest) {
+                if let Err(e) = write_timeseries(&cli, &peak.report, &manifest)
+                    .and_then(|()| write_observability(&cli, &peak.report, &manifest))
+                {
                     eprintln!("error: {e}");
                     return ExitCode::FAILURE;
                 }
@@ -469,6 +582,15 @@ fn main() -> ExitCode {
         },
         "sweep" => match build_experiment(&cli) {
             Ok(exp) => {
+                // A sweep retains per-point summaries, not reports, so
+                // there is nothing to export span windows from.
+                if cli.perfetto.is_some() || cli.flight_recorder {
+                    eprintln!(
+                        "error: --perfetto/--flight-recorder need a single-run \
+                         command (run, peak); a sweep does not retain per-point reports"
+                    );
+                    return ExitCode::FAILURE;
+                }
                 let grid = RateGrid::geometric(cli.lo * 1e6, cli.hi * 1e6, cli.points);
                 let fleet = fig_context(&cli).fleet;
                 let t = std::time::Instant::now();
@@ -496,6 +618,38 @@ fn main() -> ExitCode {
                 if let Some(knee) = sweep.knee() {
                     eprintln!("knee at ~{:.1} Mrps offered", knee.offered_rate / 1e6);
                 }
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        "trace" => match build_experiment(&cli) {
+            Ok(exp) => {
+                let t = std::time::Instant::now();
+                let report = exp.run_at_rate(cli.rate * 1e6);
+                let manifest = cli_manifest(&cli, &exp).wall_secs(t.elapsed().as_secs_f64());
+                if let Err(e) = write_timeseries(&cli, &report, &manifest)
+                    .and_then(|()| write_observability(&cli, &report, &manifest))
+                {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+                let trace = report
+                    .memtrace
+                    .as_ref()
+                    .expect("the trace command always enables memory tracing");
+                // The CSV goes to stdout so it pipes cleanly; the run
+                // summary goes to stderr.
+                print!("{}", trace.to_csv_with_comments(&manifest.to_comments()));
+                eprintln!(
+                    "traced {} memory events ({} retained) over {} requests at {:.1} Mrps",
+                    trace.recorded(),
+                    trace.events().len(),
+                    report.completed,
+                    report.throughput_mrps()
+                );
                 ExitCode::SUCCESS
             }
             Err(e) => {
