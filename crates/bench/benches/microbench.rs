@@ -146,12 +146,49 @@ fn bench_sweep_api(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_check(c: &mut Criterion) {
+    let mut group = c.benchmark_group("check");
+    group.throughput(Throughput::Elements(16));
+
+    // The same RX lifecycle as `hierarchy/rx_lifecycle_with_sweep`, but with
+    // the correctness harness mirroring every event — the difference between
+    // the two is the oracle's per-event cost.
+    let mut mem = MemorySystem::new(MachineConfig::paper_default());
+    mem.enable_check(sweeper_sim::check::CheckConfig::default());
+    let rx = mem
+        .address_map_mut()
+        .alloc(64 << 20, RegionKind::Rx { core: 0 });
+    let mut t = 0u64;
+    group.bench_function("rx_lifecycle_checked", |bench| {
+        bench.iter(|| {
+            t += 1_000;
+            let a = rx.offset((t * 1024) % (64 << 20));
+            mem.nic_write(a, 1024, t);
+            mem.cpu_read(0, a, 1024, t + 100);
+            mem.mark_consumed(a, 1024);
+            black_box(mem.sweep_range(a, 1024, t + 200))
+        })
+    });
+
+    // The on-demand invariant walk over a populated hierarchy — the cost
+    // `walk_every_requests` amortises.
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("invariant_walk", |bench| {
+        bench.iter(|| {
+            mem.check_walk();
+            black_box(())
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_cache,
     bench_hierarchy,
     bench_dram,
     bench_distributions,
-    bench_sweep_api
+    bench_sweep_api,
+    bench_check
 );
 criterion_main!(benches);

@@ -114,6 +114,17 @@ fn json_field(text: &str, key: &str) -> Option<String> {
     Some(rest[..end].trim().trim_matches('"').to_string())
 }
 
+const USAGE: &str =
+    "usage: perf [--profile fast|smoke] [--json PATH] [--check PATH] [--max-regress PCT]";
+
+/// Arg/baseline errors print one line plus usage and exit with status 2 —
+/// never a panic with a backtrace.
+fn fail(msg: impl std::fmt::Display) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("{USAGE}");
+    std::process::exit(2);
+}
+
 fn main() {
     let mut profile = RunProfile::from_env();
     if matches!(profile, RunProfile::Full) {
@@ -127,36 +138,34 @@ fn main() {
 
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| fail(format!("flag {name} needs a value")))
+        };
         match flag.as_str() {
             "--profile" => {
-                let v = args.next().expect("--profile needs a value");
-                profile = v.parse().unwrap_or_else(|e| panic!("{e}"));
+                profile = value("--profile").parse().unwrap_or_else(|e| fail(e));
             }
-            "--json" => json_path = Some(args.next().expect("--json needs a path")),
-            "--check" => check_path = Some(args.next().expect("--check needs a path")),
+            "--json" => json_path = Some(value("--json")),
+            "--check" => check_path = Some(value("--check")),
             "--max-regress" => {
-                max_regress = args
-                    .next()
-                    .expect("--max-regress needs a value")
+                max_regress = value("--max-regress")
                     .parse()
-                    .expect("--max-regress must be a number");
+                    .unwrap_or_else(|_| fail("--max-regress must be a number"));
             }
-            other => {
-                eprintln!("unknown flag '{other}' (perf takes --profile, --json, --check, --max-regress)");
-                std::process::exit(2);
-            }
+            other => fail(format!("unknown flag '{other}'")),
         }
     }
 
     if let Some(path) = check_path {
         let committed = std::fs::read_to_string(&path)
-            .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+            .unwrap_or_else(|e| fail(format!("cannot read baseline {path}: {e}")));
         let base_rate: f64 = json_field(&committed, "accesses_per_sec")
             .and_then(|v| v.parse().ok())
-            .expect("baseline is missing accesses_per_sec");
+            .unwrap_or_else(|| fail(format!("baseline {path} is missing accesses_per_sec")));
         let base_profile: RunProfile = json_field(&committed, "profile")
             .and_then(|v| v.parse().ok())
-            .expect("baseline is missing profile");
+            .unwrap_or_else(|| fail(format!("baseline {path} is missing profile")));
         let m = measure(base_profile);
         let delta = (m.accesses_per_sec / base_rate - 1.0) * 100.0;
         println!(

@@ -90,7 +90,8 @@ fn ablation_experiment(profile: RunProfile, variant: &Variant) -> Experiment {
 
 fn row(name: &str, report: &RunReport) -> Vec<String> {
     let counts = report.class_counts();
-    let per = |c: TrafficClass| counts[c] as f64 / report.completed as f64;
+    // `.max(1)`: a timed-out zero-request run must render 0.00, not NaN.
+    let per = |c: TrafficClass| counts[c] as f64 / report.completed.max(1) as f64;
     vec![
         name.to_string(),
         format!("{:.1}", report.throughput_mrps()),

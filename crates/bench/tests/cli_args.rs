@@ -1,0 +1,49 @@
+//! The `perf` harness binary must reject malformed command lines with a
+//! one-line error plus usage on stderr and exit code 2 — never a panic.
+
+use std::process::Command;
+
+fn assert_usage_error(args: &[&str]) {
+    let out = Command::new(env!("CARGO_BIN_EXE_perf"))
+        .args(args)
+        .output()
+        .expect("spawn perf");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "{args:?} should exit 2, stderr: {stderr}"
+    );
+    assert!(
+        stderr.contains("error:"),
+        "{args:?} should print an error line, got: {stderr}"
+    );
+    assert!(
+        stderr.contains("usage:"),
+        "{args:?} should print usage, got: {stderr}"
+    );
+    assert!(
+        !stderr.contains("panicked"),
+        "{args:?} must not panic, got: {stderr}"
+    );
+}
+
+#[test]
+fn unknown_flag_is_a_usage_error() {
+    assert_usage_error(&["--no-such-flag"]);
+}
+
+#[test]
+fn bad_profile_is_a_usage_error() {
+    assert_usage_error(&["--profile", "warp-speed"]);
+}
+
+#[test]
+fn flag_missing_its_value_is_a_usage_error() {
+    assert_usage_error(&["--json"]);
+}
+
+#[test]
+fn missing_baseline_file_is_a_usage_error() {
+    assert_usage_error(&["--check", "/nonexistent/baseline.json"]);
+}

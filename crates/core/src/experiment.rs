@@ -159,6 +159,14 @@ impl ExperimentConfig {
         self
     }
 
+    /// Enables the correctness harness (shadow-memory oracle + invariant
+    /// walks, see [`CheckConfig`](sweeper_sim::check::CheckConfig)); the
+    /// resulting reports carry a `check` section.
+    pub fn check(mut self, check: sweeper_sim::check::CheckConfig) -> Self {
+        self.server.check = Some(check);
+        self
+    }
+
     /// The configured RNG seed. The fleet runner treats this as the *base*
     /// seed and derives per-point seeds from it with [`seed_for_point`].
     pub fn base_seed(&self) -> u64 {
@@ -391,6 +399,12 @@ impl Experiment {
     /// each enumerated point its [`seed_for_point`]-derived stream.
     pub fn reseed(&mut self, seed: u64) {
         self.cfg.server.seed = seed;
+    }
+
+    /// Enables the correctness harness in place (`--validate` and
+    /// `sweeper check` retrofit existing experiments this way).
+    pub fn enable_check(&mut self, check: sweeper_sim::check::CheckConfig) {
+        self.cfg.server.check = Some(check);
     }
 
     fn build(&self, arrivals: ArrivalProcess) -> Server {

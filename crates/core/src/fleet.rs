@@ -101,6 +101,12 @@ impl ExperimentPoint {
         Self::new(label, experiment, PointAction::KeepQueued(depth))
     }
 
+    /// Enables the correctness harness on the point's experiment
+    /// (`sweeper check` drives whole figures through checked mode this way).
+    pub fn enable_check(&mut self, check: sweeper_sim::check::CheckConfig) {
+        self.experiment.enable_check(check);
+    }
+
     /// The point's display label.
     pub fn label(&self) -> &str {
         &self.label
@@ -130,6 +136,26 @@ impl ExperimentPoint {
             label: self.label,
             report,
             peak_rate,
+            wall: start.elapsed(),
+        }
+    }
+
+    /// One validation pass of the point: rate and keep-queued points run
+    /// exactly as declared; peak points run a single closed-loop
+    /// keep-queued pass instead of the full ~10-run bisection, because a
+    /// correctness check needs the configuration's memory paths exercised
+    /// once, not the search repeated.
+    fn execute_validation(self) -> PointOutcome {
+        let start = Instant::now();
+        let report = match self.action {
+            PointAction::Peak(_) => self.experiment.run_keep_queued(8),
+            PointAction::AtRate(rate) => self.experiment.run_at_rate(rate),
+            PointAction::KeepQueued(depth) => self.experiment.run_keep_queued(depth),
+        };
+        PointOutcome {
+            label: self.label,
+            report,
+            peak_rate: None,
             wall: start.elapsed(),
         }
     }
@@ -260,6 +286,57 @@ impl Fleet {
                             outcome.label,
                             outcome.throughput_mrps(),
                             outcome.wall,
+                        );
+                    }
+                    outcome
+                }
+            })
+            .collect();
+        self.run_tasks(tasks)
+    }
+
+    /// Executes every point once in checked mode and returns outcomes in
+    /// declaration order. Seeding matches [`Fleet::run`]; the difference is
+    /// that every point gets the correctness harness enabled (so each
+    /// report carries a `check` section) and peak points run one
+    /// keep-queued pass instead of the full bisection (see
+    /// `execute_validation`). `sweeper check` drives the figure registry
+    /// through this.
+    pub fn run_validation(
+        &self,
+        points: Vec<ExperimentPoint>,
+        check: sweeper_sim::check::CheckConfig,
+    ) -> Vec<PointOutcome> {
+        let total = points.len();
+        let seeded: Vec<ExperimentPoint> = points
+            .into_iter()
+            .enumerate()
+            .map(|(index, mut point)| {
+                let base = point.experiment.config().base_seed();
+                point.experiment.reseed(seed_for_point(base, index));
+                point.experiment.enable_check(check);
+                point
+            })
+            .collect();
+
+        let done = AtomicUsize::new(0);
+        let progress = self.progress;
+        let tasks: Vec<_> = seeded
+            .into_iter()
+            .map(|point| {
+                let done = &done;
+                move || {
+                    let outcome = point.execute_validation();
+                    let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
+                    if progress {
+                        let status = match &outcome.report.check {
+                            Some(c) if c.passed() => "pass".to_string(),
+                            Some(c) => format!("FAIL ({} violations)", c.total_violations()),
+                            None => "unchecked".to_string(),
+                        };
+                        eprintln!(
+                            "[check {finished}/{total}] {}: {status} in {:.1?}",
+                            outcome.label, outcome.wall,
                         );
                     }
                     outcome

@@ -38,7 +38,11 @@ pub struct LoadPoint {
 }
 
 impl LoadPoint {
-    fn from_report(offered_rate: f64, report: &RunReport) -> Self {
+    /// Summarizes one run at `offered_rate` into a sweep point. Public so
+    /// drivers that need the full per-point [`RunReport`] (e.g. `sweep
+    /// --validate`, which inspects each report's check section) can build a
+    /// [`LoadSweep`] from reports they ran themselves.
+    pub fn from_report(offered_rate: f64, report: &RunReport) -> Self {
         let counts = report.class_counts();
         let per_req = |c: TrafficClass| counts[c] as f64 / report.completed.max(1) as f64;
         let latency = report.request_latency.summary();
@@ -173,6 +177,12 @@ impl LoadSweep {
         Self {
             points: fleet.run_tasks(tasks),
         }
+    }
+
+    /// Assembles a sweep from points measured elsewhere (companion of
+    /// [`LoadPoint::from_report`]; points must be in offered-rate order).
+    pub fn from_points(points: Vec<LoadPoint>) -> Self {
+        Self { points }
     }
 
     /// The measured points, in offered-rate order.

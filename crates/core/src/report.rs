@@ -174,6 +174,25 @@ pub fn emit(report: &RunReport, style: ReportStyle, sink: &mut dyn ReportSink) {
     if report.timed_out {
         sink.warning("run hit max_cycles before its quota");
     }
+    if let Some(check) = &report.check {
+        let status = if check.passed() { "pass" } else { "FAIL" };
+        sink.scalar(
+            "check_status",
+            "check",
+            Value::from(status),
+            &format!(
+                "{status} ({} events, {} walks, {} violations)",
+                check.events,
+                check.walks,
+                check.total_violations()
+            ),
+        );
+        for (kind, n) in &check.violations {
+            if *n > 0 {
+                sink.warning(&format!("check: {n}x {kind}"));
+            }
+        }
+    }
 
     // Machine-only extras: everything the text report summarizes away.
     sink.extra("offered", Value::from(report.offered));
@@ -201,6 +220,9 @@ pub fn emit(report: &RunReport, style: ReportStyle, sink: &mut dyn ReportSink) {
                 .collect(),
         ),
     );
+    if let Some(check) = &report.check {
+        sink.extra("check", Value::from(check.to_record()));
+    }
     if let Some(profile) = &report.profile {
         sink.profile(profile);
     }

@@ -28,6 +28,7 @@ use sweeper_nic::packet::Packet;
 use sweeper_nic::queue::{CqEntry, QueuePair, WqEntry};
 use sweeper_nic::traffic::{ArrivalProcess, CoreAssigner, CoreAssignment, PoissonArrivals};
 use sweeper_sim::addr::{Addr, RegionKind};
+use sweeper_sim::check::{CheckConfig, CheckReport, ViolationKind};
 use sweeper_sim::engine::{cycles_to_secs, EventQueue, SimRng};
 use sweeper_sim::hierarchy::{LlcOccupancy, MachineConfig, MemorySystem};
 use sweeper_sim::span::{OutlierSnapshot, ProfileNode, SpanKind, SpanRing};
@@ -85,6 +86,10 @@ pub struct ServerConfig {
     /// Memory-event tracing: ring capacity in events (`None` disables;
     /// dumped by the `sweeper trace` subcommand).
     pub memtrace: Option<usize>,
+    /// Correctness harness: shadow-memory oracle plus periodic hierarchy
+    /// invariant walks (`None` — the default — disables it; every hook is
+    /// one branch when off).
+    pub check: Option<CheckConfig>,
 }
 
 impl ServerConfig {
@@ -110,6 +115,7 @@ impl ServerConfig {
             profiler: false,
             flight: None,
             memtrace: None,
+            check: None,
         }
     }
 
@@ -134,6 +140,7 @@ impl ServerConfig {
             profiler: false,
             flight: None,
             memtrace: None,
+            check: None,
         }
     }
 }
@@ -477,6 +484,9 @@ pub struct RunReport {
     /// Retained memory-event trace, present when
     /// [`ServerConfig::memtrace`] was set.
     pub memtrace: Option<Trace>,
+    /// Correctness-harness verdict, present when [`ServerConfig::check`]
+    /// was set.
+    pub check: Option<CheckReport>,
 }
 
 impl RunReport {
@@ -818,6 +828,20 @@ impl Server {
         if let Some(capacity) = cfg.memtrace {
             mem.enable_trace(capacity);
         }
+        if let Some(check) = cfg.check {
+            mem.enable_check(check);
+        }
+        // With Sweeper enabled, a request's `relinquish` sweep executes
+        // *after* its packet was popped. Immediate slot recycling would let
+        // the NIC refill the slot inside that window, so the sweep would
+        // destroy the new packet's live data. Deferred recycling holds each
+        // slot until the request (including its sweep) has finished.
+        let mut nic = nic;
+        if cfg.sweeper.is_enabled() {
+            for core in 0..cfg.active_cores {
+                nic.ring_mut(core).set_defer_recycle(true);
+            }
+        }
         Self {
             sampler: cfg.sampler.map(SamplerState::new),
             profiler: cfg.profiler.then(ProfilerState::default),
@@ -931,6 +955,9 @@ impl Server {
     }
 
     fn start_measurement(&mut self, now: Cycle) {
+        // Drain point: the warmed-up hierarchy must already satisfy every
+        // invariant before measurement begins.
+        self.run_check_walk();
         self.measuring = true;
         self.measure_start = now;
         self.offered = 0;
@@ -1002,6 +1029,34 @@ impl Server {
             state.next += state.cfg.every;
         }
         self.sampler = Some(state);
+    }
+
+    /// Periodic invariant walk, every `walk_every_requests` completed
+    /// requests. One branch when the harness is disabled.
+    fn maybe_check_walk(&mut self) {
+        if let Some(cfg) = self.mem.check_config() {
+            let every = cfg.walk_every_requests;
+            if every > 0 && self.completed.is_multiple_of(every) {
+                self.run_check_walk();
+            }
+        }
+    }
+
+    /// Verifies the RX rings' index/slot invariants, then walks every
+    /// hierarchy invariant. No-op when the harness is disabled.
+    fn run_check_walk(&mut self) {
+        if !self.mem.check_enabled() {
+            return;
+        }
+        for core in 0..self.cfg.active_cores {
+            if let Err(e) = self.nic.ring(core).check_consistency() {
+                self.mem
+                    .check_note_violation(ViolationKind::RingInconsistency, || {
+                        format!("core {core}: {e}")
+                    });
+            }
+        }
+        self.mem.check_walk();
     }
 
     /// Builds the trace and transmission plan for a dequeued packet.
@@ -1088,6 +1143,10 @@ impl Server {
                 self.qps[core as usize].cq.pop();
             }
         }
+        // Deferred recycling: the buffer (swept by now, including the NIC's
+        // zero-copy TX sweep in `transmit` above) goes back to the producer.
+        // No-op with immediate recycling.
+        self.nic.ring_mut(core).recycle(active.pkt.addr);
 
         if self.measuring {
             self.completed += 1;
@@ -1107,6 +1166,7 @@ impl Server {
                 prof.sweep.merge(&active.prof.sweep);
             }
             self.maybe_snapshot_outlier(&active, latency, now);
+            self.maybe_check_walk();
         } else {
             self.warmup_left = self.warmup_left.saturating_sub(1);
             if self.warmup_left == 0 && now >= self.opts.min_warmup_cycles {
@@ -1215,6 +1275,9 @@ impl Server {
                 self.busy[c] = false;
             }
             Some(pkt) => {
+                // The pop is the consumption point: from here on, sweeping
+                // this buffer is legal. One branch when the harness is off.
+                self.mem.mark_consumed(pkt.addr, pkt.bytes);
                 self.refill_keep_queued(core, now);
                 self.begin_request(core, pkt, now);
                 self.events.push(now, Event::CoreStep { core });
@@ -1320,6 +1383,9 @@ impl Server {
             timed_out = true;
             0
         };
+        // Final drain point: whatever state the run ended in must satisfy
+        // every invariant.
+        self.run_check_walk();
         RunReport {
             workload: self.workload.name().to_string(),
             completed: self.completed,
@@ -1338,6 +1404,7 @@ impl Server {
             profile: self.profiler.as_ref().map(ProfilerState::to_tree),
             outliers: self.flight.as_ref().map(|f| f.snapshots.clone()),
             memtrace: self.mem.trace().cloned(),
+            check: self.mem.check_report(),
         }
     }
 }
@@ -1592,6 +1659,62 @@ mod tests {
         assert_eq!(base.completed, sampled.completed);
         assert_eq!(base.elapsed_cycles, sampled.elapsed_cycles);
         assert_eq!(base.mem.dram_accesses(), sampled.mem.dram_accesses());
+    }
+
+    #[test]
+    fn check_does_not_perturb_the_simulation() {
+        let base = run_echo(ServerConfig::tiny_for_tests());
+        let mut cfg = ServerConfig::tiny_for_tests();
+        cfg.check = Some(CheckConfig::default());
+        let checked = run_echo(cfg);
+        assert_eq!(base.completed, checked.completed);
+        assert_eq!(base.elapsed_cycles, checked.elapsed_cycles);
+        assert_eq!(base.mem.dram_accesses(), checked.mem.dram_accesses());
+        assert_eq!(
+            base.request_latency.mean(),
+            checked.request_latency.mean()
+        );
+        let check = checked.check.expect("check enabled");
+        assert!(check.passed(), "echo run violates an invariant: {check:?}");
+        assert!(check.events > 0, "oracle mirrored no events");
+        assert!(check.walks > 0, "invariant walker never ran");
+        assert!(base.check.is_none(), "check report without check config");
+    }
+
+    #[test]
+    fn zero_request_report_rates_are_finite() {
+        // A run that times out before completing anything (or a report built
+        // from an empty window) must render zeros, not NaN, in every derived
+        // rate. Pin that by building the empty report directly.
+        let report = RunReport {
+            workload: "empty".into(),
+            completed: 0,
+            offered: 0,
+            dropped: 0,
+            elapsed_cycles: 0,
+            mem: MemStats::default(),
+            request_latency: Histogram::new(),
+            service_time: Histogram::new(),
+            dram_latency: Histogram::new(),
+            background_iterations: 0,
+            timed_out: true,
+            channel_transfers: Vec::new(),
+            timeseries: None,
+            spans: None,
+            profile: None,
+            outliers: None,
+            memtrace: None,
+            check: None,
+        };
+        assert_eq!(report.throughput_mrps(), 0.0);
+        assert_eq!(report.memory_bandwidth_gbps(), 0.0);
+        for (class, per) in report.accesses_per_request() {
+            assert!(per.is_finite(), "{class:?} per-request rate is not finite");
+        }
+        assert_eq!(report.total_accesses_per_request(), 0.0);
+        assert_eq!(report.drop_rate(), 0.0);
+        assert_eq!(report.goodput_ratio(), 1.0);
+        assert_eq!(report.background_mips(), 0.0);
     }
 
     #[test]

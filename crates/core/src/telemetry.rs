@@ -41,6 +41,8 @@ pub const FIGURE_TABLE_SCHEMA: &str = "sweeper.figure-table/1";
 pub const PERFETTO_SCHEMA: &str = "sweeper.perfetto-trace/1";
 /// Schema tag of flight-recorder outlier snapshots.
 pub const OUTLIER_SCHEMA: &str = "sweeper.outlier/1";
+/// Schema tag of correctness-harness (`sweeper check`) documents.
+pub const CHECK_SCHEMA: &str = "sweeper.check/1";
 
 /// Export format selected by `--format` across the CLI and the figure
 /// binaries.
@@ -254,6 +256,14 @@ pub fn perfetto_document(spans: &SpanRing, manifest: &RunManifest) -> Record {
 /// (`results/outliers/<n>.json`).
 pub fn outlier_document(snapshot: &OutlierSnapshot, manifest: &RunManifest) -> Record {
     document(OUTLIER_SCHEMA, manifest, "outlier", snapshot.to_record())
+}
+
+/// The JSON document for a `sweeper check` validation sweep: one entry per
+/// checked configuration, each a record carrying the figure name, the point
+/// label, and the run's
+/// [`CheckReport`](sweeper_sim::check::CheckReport) record.
+pub fn check_document(checks: Vec<Value>, manifest: &RunManifest) -> Record {
+    document(CHECK_SCHEMA, manifest, "checks", checks)
 }
 
 /// The JSON document for a fleet of point outcomes.

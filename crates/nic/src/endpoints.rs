@@ -111,6 +111,34 @@ impl EndpointRings {
             .map(|p| p.delivered)
             .min()
     }
+
+    /// Switches every endpoint ring to deferred slot recycling (see
+    /// [`RxRing::set_defer_recycle`]).
+    pub fn set_defer_recycle(&mut self, on: bool) {
+        for ring in &mut self.rings {
+            ring.set_defer_recycle(on);
+        }
+    }
+
+    /// Consumer side (deferred recycling): returns the oldest popped slot of
+    /// the ring whose buffer region contains `addr`. Returns `false` if no
+    /// ring contains the address or no popped slot is outstanding there.
+    pub fn recycle(&mut self, addr: sweeper_sim::addr::Addr) -> bool {
+        self.rings
+            .iter_mut()
+            .find(|r| r.contains_addr(addr))
+            .is_some_and(RxRing::recycle_one)
+    }
+
+    /// Verifies every endpoint ring's index and slot invariants (see
+    /// [`RxRing::check_consistency`]).
+    pub fn check_consistency(&self) -> Result<(), String> {
+        for (ep, ring) in self.rings.iter().enumerate() {
+            ring.check_consistency()
+                .map_err(|e| format!("endpoint {ep}: {e}"))?;
+        }
+        Ok(())
+    }
 }
 
 /// Maps a flow identifier (remote peer) onto one of `endpoints` connections.
@@ -213,6 +241,25 @@ mod tests {
             seen.insert(ep);
         }
         assert_eq!(seen.len(), 16, "all endpoints receive traffic");
+    }
+
+    #[test]
+    fn recycle_targets_the_ring_owning_the_address() {
+        let (_, mut r) = rings(2, 2);
+        r.set_defer_recycle(true);
+        r.push(0, pkt(0));
+        r.push(1, pkt(1));
+        let a0 = r.pop().unwrap().addr;
+        let a1 = r.pop().unwrap().addr;
+        assert_eq!(r.ring(0).pending_recycle(), 1);
+        assert_eq!(r.ring(1).pending_recycle(), 1);
+        assert!(r.recycle(a1));
+        assert_eq!(r.ring(0).pending_recycle(), 1);
+        assert_eq!(r.ring(1).pending_recycle(), 0);
+        assert!(r.recycle(a0));
+        assert!(!r.recycle(a0), "nothing left outstanding");
+        assert!(!r.recycle(Addr(1)), "foreign address recycles nothing");
+        r.check_consistency().unwrap();
     }
 
     #[test]

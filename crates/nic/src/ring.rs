@@ -24,6 +24,13 @@ pub struct RxRing {
     tail: u64,
     /// Next slot the CPU consumes (consumer index).
     head: u64,
+    /// Next slot to be returned to the NIC (`recycled ≤ head`). With
+    /// immediate recycling (the default) this tracks `head`; with deferred
+    /// recycling the consumer returns slots explicitly via
+    /// [`RxRing::recycle_one`] once it is done with the buffer — in
+    /// particular after any `relinquish` sweep has executed.
+    recycled: u64,
+    defer_recycle: bool,
 }
 
 impl RxRing {
@@ -43,6 +50,24 @@ impl RxRing {
             slots: vec![None; entries],
             tail: 0,
             head: 0,
+            recycled: 0,
+            defer_recycle: false,
+        }
+    }
+
+    /// Switches the ring to deferred recycling: popping a packet no longer
+    /// frees its slot for the producer; the consumer must call
+    /// [`RxRing::recycle_one`] when it is done with the buffer.
+    ///
+    /// This models a driver that returns descriptors only after the buffer
+    /// has been fully processed. It closes the window where the NIC could
+    /// overwrite a popped slot *before* the request's deferred `relinquish`
+    /// sweep executed — in which case the sweep would destroy the *new*
+    /// packet's live data.
+    pub fn set_defer_recycle(&mut self, on: bool) {
+        self.defer_recycle = on;
+        if !on {
+            self.recycled = self.head;
         }
     }
 
@@ -66,9 +91,17 @@ impl RxRing {
         (self.tail - self.head) as usize
     }
 
-    /// Whether the ring has no free slot.
+    /// Popped slots not yet returned to the producer (always zero with
+    /// immediate recycling).
+    pub fn pending_recycle(&self) -> usize {
+        (self.head - self.recycled) as usize
+    }
+
+    /// Whether the ring has no free slot. With deferred recycling, popped
+    /// but not-yet-recycled slots still count as occupied from the
+    /// producer's point of view.
     pub fn is_full(&self) -> bool {
-        self.occupancy() == self.capacity()
+        (self.tail - self.recycled) as usize == self.capacity()
     }
 
     /// Whether no packets are queued.
@@ -124,7 +157,57 @@ impl RxRing {
         }
         let idx = (self.head % self.capacity() as u64) as usize;
         self.head += 1;
+        if !self.defer_recycle {
+            self.recycled = self.head;
+        }
         self.slots[idx].take()
+    }
+
+    /// Consumer side (deferred recycling): returns the oldest popped slot to
+    /// the producer. Returns `false` if no popped slot is outstanding.
+    pub fn recycle_one(&mut self) -> bool {
+        if self.recycled < self.head {
+            self.recycled += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Whether `addr` falls inside this ring's buffer region.
+    pub fn contains_addr(&self, addr: Addr) -> bool {
+        addr.0 >= self.base.0 && addr.0 < self.base.0 + self.footprint_bytes()
+    }
+
+    /// Verifies the ring's index and slot-occupancy invariants:
+    /// `recycled ≤ head ≤ tail ≤ recycled + capacity`, and a slot holds a
+    /// packet exactly when its position is inside the `[head, tail)` window.
+    pub fn check_consistency(&self) -> Result<(), String> {
+        if !(self.recycled <= self.head
+            && self.head <= self.tail
+            && self.tail <= self.recycled + self.capacity() as u64)
+        {
+            return Err(format!(
+                "ring indices out of order: recycled {} head {} tail {} capacity {}",
+                self.recycled,
+                self.head,
+                self.tail,
+                self.capacity()
+            ));
+        }
+        for (i, slot) in self.slots.iter().enumerate() {
+            let queued = (self.head..self.tail).any(|k| (k % self.capacity() as u64) as usize == i);
+            if queued != slot.is_some() {
+                return Err(format!(
+                    "slot {i} {} but window [head {}, tail {}) says it should {}be",
+                    if slot.is_some() { "occupied" } else { "empty" },
+                    self.head,
+                    self.tail,
+                    if queued { "" } else { "not " },
+                ));
+            }
+        }
+        Ok(())
     }
 
     /// Oldest queued packet without consuming it.
@@ -221,6 +304,107 @@ mod tests {
         assert_eq!(r.occupancy(), 3);
         assert!(!r.is_full());
         assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn multi_lap_wraparound_reuses_slot_addresses() {
+        let (_m, mut r) = ring(4);
+        // Record the slot addresses of the first lap.
+        let first_lap: Vec<Addr> = (0..4).map(|i| r.slot_addr(i)).collect();
+        let mut produced = 0;
+        for lap in 0..5 {
+            for (i, expected) in first_lap.iter().enumerate() {
+                let predicted = r.next_slot_addr().unwrap();
+                let addr = r.push(pkt(produced)).unwrap();
+                assert_eq!(predicted, addr, "next_slot_addr must match push");
+                assert_eq!(
+                    addr, *expected,
+                    "lap {lap} slot {i} must reuse the same address"
+                );
+                produced += 1;
+            }
+            assert!(r.is_full());
+            assert_eq!(r.occupancy(), 4);
+            assert!(r.next_slot_addr().is_none());
+            // Full-ring drop.
+            assert!(r.push(pkt(999)).is_none());
+            // Drain fully, in FIFO order, with addresses matching the lap.
+            for (i, expected) in first_lap.iter().enumerate() {
+                assert_eq!(r.occupancy(), 4 - i);
+                let p = r.pop().unwrap();
+                assert_eq!(p.addr, *expected);
+            }
+            assert!(r.is_empty());
+            assert_eq!(r.occupancy(), 0);
+            r.check_consistency().unwrap();
+        }
+        assert_eq!(produced, 20);
+    }
+
+    #[test]
+    fn partial_consume_laps_stay_consistent() {
+        // Interleave produce/consume so head and tail wrap at different
+        // offsets each lap.
+        let (_m, mut r) = ring(3);
+        let mut id = 0;
+        let mut expected_occupancy = 0usize;
+        for _ in 0..10 {
+            for _ in 0..2 {
+                if r.push(pkt(id)).is_some() {
+                    expected_occupancy += 1;
+                }
+                id += 1;
+            }
+            if r.pop().is_some() {
+                expected_occupancy -= 1;
+            }
+            assert_eq!(r.occupancy(), expected_occupancy);
+            r.check_consistency().unwrap();
+        }
+    }
+
+    #[test]
+    fn deferred_recycle_holds_slots_until_returned() {
+        let (_m, mut r) = ring(2);
+        r.set_defer_recycle(true);
+        let a0 = r.push(pkt(0)).unwrap();
+        r.push(pkt(1)).unwrap();
+        assert!(r.is_full());
+        // Popping no longer frees the slot for the producer.
+        assert_eq!(r.pop().unwrap().addr, a0);
+        assert_eq!(r.occupancy(), 1);
+        assert_eq!(r.pending_recycle(), 1);
+        assert!(r.is_full(), "popped slot is still reserved");
+        assert!(r.push(pkt(2)).is_none(), "producer must drop");
+        assert!(r.next_slot_addr().is_none());
+        // Recycling hands exactly that slot back.
+        assert!(r.recycle_one());
+        assert!(!r.is_full());
+        assert_eq!(r.next_slot_addr(), Some(a0));
+        assert_eq!(r.push(pkt(3)).unwrap(), a0);
+        // Nothing outstanding: recycle_one reports idle.
+        assert!(!r.recycle_one());
+        r.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn immediate_recycle_keeps_legacy_semantics() {
+        let (_m, mut r) = ring(2);
+        r.push(pkt(0)).unwrap();
+        r.push(pkt(1)).unwrap();
+        r.pop().unwrap();
+        assert_eq!(r.pending_recycle(), 0);
+        assert!(!r.is_full(), "immediate mode frees the slot at pop");
+        r.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn contains_addr_covers_exactly_the_ring_region() {
+        let (_m, r) = ring(2);
+        assert!(r.contains_addr(r.slot_addr(0)));
+        assert!(r.contains_addr(r.slot_addr(1).offset(1023)));
+        assert!(!r.contains_addr(r.slot_addr(1).offset(1024)));
+        assert!(!r.contains_addr(Addr(r.slot_addr(0).0 - 1)));
     }
 
     #[test]

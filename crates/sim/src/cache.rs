@@ -477,6 +477,18 @@ impl SetAssocCache {
             .map(|&t| decode_tag(t))
     }
 
+    /// Iterates over all resident lines together with their `(set, way)`
+    /// location — lets the correctness harness verify way-mask confinement
+    /// (e.g. NIC-origin lines stay inside the DDIO ways).
+    pub fn iter_located_lines(&self) -> impl Iterator<Item = (usize, usize, Line)> + '_ {
+        let ways = self.geometry.ways;
+        self.tags
+            .iter()
+            .enumerate()
+            .filter(|(_, &t)| t & TAG_PRESENT != 0)
+            .map(move |(slot, &t)| (slot / ways, slot % ways, decode_tag(t)))
+    }
+
     /// Drops every resident line without any writeback bookkeeping.
     pub fn flush_all(&mut self) {
         self.tags.fill(0);

@@ -386,6 +386,19 @@ impl Directory {
     pub fn tracked_blocks(&self) -> usize {
         self.len
     }
+
+    /// Iterates every tracked entry as `(block, sharers, dirty_owner)` —
+    /// lets the correctness harness cross-check the directory against
+    /// actual private-cache residency. Iteration order is unspecified.
+    pub fn iter_entries(&self) -> impl Iterator<Item = (BlockAddr, SharerSet, Option<u16>)> + '_ {
+        self.slots.iter().filter(|s| s.sharers != 0).map(|s| {
+            (
+                BlockAddr(s.block),
+                SharerSet(s.sharers),
+                (s.dirty_owner != NO_OWNER).then_some(s.dirty_owner),
+            )
+        })
+    }
 }
 
 #[derive(Debug, Clone, Copy, Default)]

@@ -336,6 +336,19 @@ impl Dram {
         self.channels.iter().map(|c| (c.reads, c.writes)).collect()
     }
 
+    /// Snapshot of the scheduling frontier: per channel, the bus-free time
+    /// followed by every bank's busy-until time. `access` only ever moves
+    /// these forward, so each element must be non-decreasing across
+    /// snapshots — the correctness harness asserts exactly that.
+    pub fn timing_frontier(&self) -> Vec<Cycle> {
+        let mut out = Vec::new();
+        for ch in &self.channels {
+            out.push(ch.bus_free);
+            out.extend(ch.banks.iter().map(|b| b.busy_until));
+        }
+        out
+    }
+
     /// Fraction of accesses that hit an open row.
     pub fn row_hit_rate(&self) -> f64 {
         let total = self.row_hits + self.row_misses;
@@ -513,6 +526,11 @@ mod tests {
         d.access(BlockAddr(0), 0, DramOp::Read);
         d.access(BlockAddr(0), 10_000, DramOp::Read);
         assert!((d.row_hit_rate() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn row_hit_rate_is_zero_before_any_access() {
+        assert_eq!(dram().row_hit_rate(), 0.0);
     }
 
     #[test]

@@ -22,6 +22,7 @@ use std::ops::Range;
 
 use crate::addr::{blocks_of, Addr, AddressMap, BlockAddr, RegionKind};
 use crate::cache::{CacheGeometry, Evicted, Line, LineOrigin, ReplacementPolicy, SetAssocCache, WayMask};
+use crate::check::{CheckConfig, CheckReport, CheckState, ViolationKind};
 use crate::coherence::Directory;
 use crate::dram::{Dram, DramConfig, DramOp};
 use crate::span::{SpanKind, SpanRecorder, SpanRing, NO_TRACE};
@@ -305,6 +306,7 @@ pub struct MemorySystem {
     cpu_masks: Vec<WayMask>,
     trace: Option<Trace>,
     spans: Option<Box<SpanRecorder>>,
+    check: Option<Box<CheckState>>,
 }
 
 impl MemorySystem {
@@ -338,6 +340,7 @@ impl MemorySystem {
             cpu_masks: vec![WayMask::ALL; cfg.cores],
             trace: None,
             spans: None,
+            check: None,
             cfg,
         }
     }
@@ -445,6 +448,170 @@ impl MemorySystem {
         }
     }
 
+    /// Enables the correctness harness: every NIC write, CPU store, sweep,
+    /// writeback, and DRAM fill is mirrored into the shadow-memory oracle,
+    /// and [`MemorySystem::check_walk`] verifies the hierarchy invariants.
+    /// When disabled, each hook costs one branch.
+    pub fn enable_check(&mut self, cfg: CheckConfig) {
+        self.check = Some(Box::new(CheckState::new(cfg)));
+    }
+
+    /// Whether the correctness harness is enabled.
+    pub fn check_enabled(&self) -> bool {
+        self.check.is_some()
+    }
+
+    /// The harness configuration, if enabled.
+    pub fn check_config(&self) -> Option<&CheckConfig> {
+        self.check.as_deref().map(CheckState::config)
+    }
+
+    /// Snapshot of the harness's violation ledger, if enabled.
+    pub fn check_report(&self) -> Option<CheckReport> {
+        self.check.as_deref().map(CheckState::report)
+    }
+
+    /// Records an externally-detected violation (e.g. the server's RX ring
+    /// index checks) into the harness ledger. No-op when disabled.
+    pub fn check_note_violation(&mut self, kind: ViolationKind, detail: impl FnOnce() -> String) {
+        if let Some(chk) = &mut self.check {
+            chk.note_violation(kind, detail);
+        }
+    }
+
+    /// Tells the oracle the CPU has consumed `[addr, addr+len)`: sweeping
+    /// these blocks is now legal until the NIC next overwrites them. One
+    /// branch when the harness is disabled.
+    #[inline]
+    pub fn mark_consumed(&mut self, addr: Addr, len: u64) {
+        if let Some(chk) = &mut self.check {
+            chk.mark_consumed(addr, len);
+        }
+    }
+
+    /// Walks every hierarchy invariant, recording violations into the
+    /// harness ledger. No-op when the harness is disabled; expensive —
+    /// O(resident lines + directory entries) — so call only at drain
+    /// points, not per access.
+    pub fn check_walk(&mut self) {
+        let Some(mut chk) = self.check.take() else {
+            return;
+        };
+        chk.note_walk();
+
+        // Directory ⊆ residency: every sharer the directory records must
+        // actually hold the block in its L2, and a dirty owner must be in
+        // its own sharer set.
+        for (block, sharers, owner) in self.dir.iter_entries() {
+            for core in sharers {
+                if self.l2[core as usize].peek(block).is_none() {
+                    chk.note_violation(ViolationKind::DirectoryResidencyMismatch, || {
+                        format!("{block}: directory lists core {core} but its L2 misses")
+                    });
+                }
+            }
+            if let Some(o) = owner {
+                if !sharers.contains(o) {
+                    chk.note_violation(ViolationKind::DirtyOwnershipMismatch, || {
+                        format!("{block}: dirty owner {o} not in sharer set")
+                    });
+                }
+            }
+        }
+
+        // Residency ⊆ directory, L1 ⊆ L2 inclusion, and the per-block dirty
+        // census (at most one dirty copy may exist hierarchy-wide).
+        let mut dirty_copies: std::collections::HashMap<u64, u32> = std::collections::HashMap::new();
+        for line in self.llc.iter_lines() {
+            if chk.is_swept(line.block) {
+                chk.note_violation(ViolationKind::SweptBlockResident, || {
+                    format!("{}: swept block still resident in LLC", line.block)
+                });
+            }
+            if line.dirty {
+                *dirty_copies.entry(line.block.0).or_default() += 1;
+            }
+        }
+        for c in 0..self.cfg.cores {
+            for line in self.l1[c].iter_lines() {
+                if self.l2[c].peek(line.block).is_none() {
+                    chk.note_violation(ViolationKind::InclusionViolation, || {
+                        format!("{}: in core {c}'s L1 but not its L2", line.block)
+                    });
+                }
+            }
+            for line in self.l2[c].iter_lines() {
+                if !self.dir.sharers(line.block).contains(c as u16) {
+                    chk.note_violation(ViolationKind::DirectoryResidencyMismatch, || {
+                        format!("{}: in core {c}'s L2 but not its directory entry", line.block)
+                    });
+                }
+                if chk.is_swept(line.block) {
+                    chk.note_violation(ViolationKind::SweptBlockResident, || {
+                        format!("{}: swept block still resident in core {c}", line.block)
+                    });
+                }
+                let dirty = line.dirty || self.l1[c].peek(line.block).is_some_and(|l| l.dirty);
+                if dirty {
+                    *dirty_copies.entry(line.block.0).or_default() += 1;
+                    // Under the default semantics every dirty private line
+                    // has a registered owner; the strict-victim ablation
+                    // deliberately installs dirty lines without claiming
+                    // ownership, so the subcheck is gated.
+                    if self.cfg.llc_read_hit_retains
+                        && self.dir.dirty_owner(line.block) != Some(c as u16)
+                    {
+                        chk.note_violation(ViolationKind::DirtyOwnershipMismatch, || {
+                            format!("{}: dirty in core {c} without dirty ownership", line.block)
+                        });
+                    }
+                }
+            }
+        }
+        for (&block, &copies) in &dirty_copies {
+            if copies > 1 {
+                chk.note_violation(ViolationKind::MultipleDirtyCopies, || {
+                    format!("{}: {copies} dirty copies in the hierarchy", BlockAddr(block))
+                });
+            }
+        }
+
+        // NIC-origin LLC lines must sit inside the DDIO way mask.
+        for (_, way, line) in self.llc.iter_located_lines() {
+            if line.origin == LineOrigin::Nic && !self.ddio_mask.allows(way) {
+                chk.note_violation(ViolationKind::DdioWayEscape, || {
+                    format!("{}: NIC-origin line in non-DDIO way {way}", line.block)
+                });
+            }
+        }
+
+        // Incremental per-region occupancy counters vs a from-scratch
+        // recount of the LLC.
+        let mut recount = OccupancyCounters::default();
+        for line in self.llc.iter_lines() {
+            recount.add(self.map.classify_block(line.block));
+        }
+        let width = recount.counts.len().max(self.llc_occ.counts.len());
+        for i in 0..width {
+            let fresh = recount.counts.get(i).copied().unwrap_or(0);
+            let incremental = self.llc_occ.counts.get(i).copied().unwrap_or(0);
+            if fresh != incremental {
+                chk.note_violation(ViolationKind::OccupancyDrift, || {
+                    format!(
+                        "{}: incremental count {incremental}, recount {fresh}",
+                        OccupancyCounters::kind_of(i)
+                    )
+                });
+            }
+        }
+
+        // DRAM never schedules an access in the past: the bank/bus frontier
+        // must be elementwise non-decreasing between walks.
+        chk.check_dram_frontier(self.dram.timing_frontier());
+
+        self.check = Some(chk);
+    }
+
     #[inline]
     fn trace_event(&mut self, at: Cycle, kind: TraceKind, core: u16, block: BlockAddr, blocks: u32, latency: Cycle) {
         let trace = self.span_trace();
@@ -516,6 +683,9 @@ impl MemorySystem {
             return 0;
         }
         const WRITE_ALLOWANCE: Cycle = 2_000;
+        if let Some(chk) = self.check.as_deref_mut() {
+            chk.on_writeback(block);
+        }
         let stall = self.dram.backlog(now).saturating_sub(WRITE_ALLOWANCE);
         let class = Self::eviction_class(kind);
         self.dram.access(block, now, DramOp::Write);
@@ -656,6 +826,13 @@ impl MemorySystem {
             if write && !(line.dirty && dirty_hit_exclusive) {
                 self.l1[c].mark_dirty(block);
                 self.l2[c].mark_dirty(block);
+                // RFO upgrade: a retained LLC copy (left behind by a read
+                // hit or another core's L2 eviction) is stale the moment
+                // this write completes. Drop it — without this, a later
+                // LLC lookup would hit the stale line before ever
+                // consulting the dirty owner, and a retained *dirty* line
+                // would make two dirty copies race their writebacks.
+                self.llc_invalidate(block);
                 self.resolve_remote_sharers(core, block, now);
                 self.dir.set_dirty_owner(block, core);
             }
@@ -674,6 +851,13 @@ impl MemorySystem {
             if write && !(line.dirty && dirty_hit_exclusive) {
                 self.l1[c].mark_dirty(block);
                 self.l2[c].mark_dirty(block);
+                // RFO upgrade: a retained LLC copy (left behind by a read
+                // hit or another core's L2 eviction) is stale the moment
+                // this write completes. Drop it — without this, a later
+                // LLC lookup would hit the stale line before ever
+                // consulting the dirty owner, and a retained *dirty* line
+                // would make two dirty copies race their writebacks.
+                self.llc_invalidate(block);
                 self.resolve_remote_sharers(core, block, now);
                 self.dir.set_dirty_owner(block, core);
             }
@@ -759,6 +943,9 @@ impl MemorySystem {
         };
         self.stats.dram_reads.bump(class);
         self.stats.note_core_dram_read(core);
+        if let Some(chk) = self.check.as_deref_mut() {
+            chk.on_dram_fill(block);
+        }
         let acc = self.dram.access(block, now, DramOp::Read);
         latency += acc.latency;
         self.record_span(SpanKind::DramQueue, core, now, now + acc.latency);
@@ -781,6 +968,9 @@ impl MemorySystem {
                 let kind_next = self.map.classify_block(next);
                 if !(self.cfg.injection == InjectionPolicy::Ideal && Self::is_network(kind_next)) {
                     self.stats.dram_reads.bump(Self::cpu_read_class(kind_next));
+                    if let Some(chk) = self.check.as_deref_mut() {
+                        chk.on_dram_fill(next);
+                    }
                     self.dram.access(next, now, DramOp::Read);
                     if let Some(ev) =
                         self.l2[c].insert(next, false, LineOrigin::Cpu, WayMask::ALL)
@@ -855,6 +1045,13 @@ impl MemorySystem {
         }
         for block in blocks_of(addr, len) {
             let (lat, dram) = self.cpu_block_access(core, block, now, write);
+            // The store is mirrored *after* the access: a write-allocate
+            // RFO legitimately fills from DRAM first, then dirties.
+            if write {
+                if let Some(chk) = self.check.as_deref_mut() {
+                    chk.on_cpu_write(block);
+                }
+            }
             max_block_latency = max_block_latency.max(lat);
             out.blocks += 1;
             if dram {
@@ -944,6 +1141,10 @@ impl MemorySystem {
         for block in blocks_of(addr, len) {
             out.blocks += 1;
             self.stats.block_accesses += 1;
+            if let Some(chk) = self.check.as_deref_mut() {
+                let is_rx = self.map.classify_block(block).is_rx();
+                chk.on_nic_write(block, is_rx, self.cfg.injection);
+            }
             // The NIC fully overwrites the block: all CPU copies become
             // stale and are invalidated without writeback.
             for core in self.dir.drop_block(block) {
@@ -1005,6 +1206,9 @@ impl MemorySystem {
                         self.llc_insert(block, false, LineOrigin::Cpu, WayMask::ALL);
                         self.writeback(block, now);
                     }
+                    if let Some(chk) = self.check.as_deref_mut() {
+                        chk.on_dram_fill(block);
+                    }
                     let acc = self.dram.access(block, now, DramOp::Read);
                     self.record_span(SpanKind::DramQueue, u16::MAX, now, now + acc.latency);
                     self.stats.dram_reads.bump(TrafficClass::NicTxRd);
@@ -1019,6 +1223,9 @@ impl MemorySystem {
                         self.stats.llc_hits += 1;
                     } else {
                         self.stats.llc_misses += 1;
+                        if let Some(chk) = self.check.as_deref_mut() {
+                            chk.on_dram_fill(block);
+                        }
                         let acc = self.dram.access(block, now, DramOp::Read);
                         self.record_span(SpanKind::DramQueue, u16::MAX, now, now + acc.latency);
                         self.stats.dram_reads.bump(TrafficClass::NicTxRd);
@@ -1035,6 +1242,10 @@ impl MemorySystem {
     /// whose writeback was suppressed.
     pub fn sweep_block(&mut self, block: BlockAddr) -> u64 {
         self.stats.block_accesses += 1;
+        if let Some(chk) = self.check.as_deref_mut() {
+            let is_rx = self.map.classify_block(block).is_rx();
+            chk.on_sweep(block, is_rx);
+        }
         let mut saved = 0;
         for core in self.dir.drop_block(block) {
             let c = core as usize;
@@ -1105,6 +1316,9 @@ impl MemorySystem {
         let mut written = 0;
         for block in blocks_of(addr, len) {
             self.stats.block_accesses += 1;
+            if let Some(chk) = self.check.as_deref_mut() {
+                chk.on_dma_zero(block);
+            }
             for core in self.dir.drop_block(block) {
                 self.invalidate_private_for_overwrite(core, block);
                 self.stats.invalidations += 1;

@@ -19,7 +19,9 @@
 //!   workspace serializes through,
 //! * [request-level causal spans](span) — typed per-stage spans tagged with
 //!   a trace id, a hierarchical cycle-attribution profile, and the
-//!   Perfetto-compatible export built on them.
+//!   Perfetto-compatible export built on them,
+//! * a [correctness harness](check) — a shadow-memory oracle plus on-demand
+//!   hierarchy invariant walks, off by default at one branch per hook.
 //!
 //! # Example
 //!
@@ -41,6 +43,7 @@
 
 pub mod addr;
 pub mod cache;
+pub mod check;
 pub mod coherence;
 pub mod dram;
 pub mod engine;

@@ -21,7 +21,7 @@ use std::process::ExitCode;
 use sweeper::bench::{run_figure, FigContext};
 use sweeper::core::experiment::{Experiment, ExperimentConfig, PeakCriteria};
 use sweeper::core::fleet::Fleet;
-use sweeper::core::loadsweep::{LoadSweep, RateGrid};
+use sweeper::core::loadsweep::{LoadPoint, LoadSweep, RateGrid};
 use sweeper::core::profile::RunProfile;
 use sweeper::core::report::{emit, text_report, CsvSink, ReportStyle};
 use sweeper::core::scenario::{Scenario, ScenarioWorkload};
@@ -29,13 +29,16 @@ use sweeper::core::server::{
     FlightRecorderConfig, RunOptions, RunReport, SamplerConfig, SweeperMode,
 };
 use sweeper::core::telemetry::{
-    document, outlier_document, perfetto_document, run_document, timeseries_document,
-    OutputFormat, Record, RunManifest, LOADSWEEP_SCHEMA,
+    check_document, document, outlier_document, perfetto_document, run_document,
+    timeseries_document, OutputFormat, Record, RunManifest, Value, LOADSWEEP_SCHEMA,
 };
+use sweeper::sim::check::{CheckConfig, ViolationKind};
 use sweeper::sim::hierarchy::{InjectionPolicy, MachineConfig};
 use sweeper::workloads::kvs::{KvsConfig, MicaKvs, HEADER_BYTES};
 use sweeper::workloads::l3fwd::{L3Forwarder, L3fwdConfig};
 use sweeper::workloads::synthetic::{Synthetic, SyntheticConfig};
+
+const USAGE: &str = "usage: sweeper <run|peak|sweep|trace|check|figures|figure <NAME>|info|help> [flags] — see `sweeper help`";
 
 const HELP: &str = "\
 sweeper — DDIO network-data-leak simulator (MICRO'22 'Sweeper' reproduction)
@@ -51,6 +54,9 @@ COMMANDS:
              as CSV on stdout (report summary goes to stderr)
     figures  list the paper figures the registry can regenerate
     figure <NAME>  regenerate one figure (table1, fig1..fig10, ablations)
+    check [NAME]   run every registered figure configuration (or just NAME)
+             through the correctness harness and report pass/fail per
+             invariant; nonzero exit on any violation
     info     print the simulated machine (Table I)
     help     show this text
 
@@ -101,6 +107,12 @@ FLAGS (all optional):
     --outliers <DIR>                   flight-recorder output directory
                                        [results/outliers]
     --events <N>                       span/trace ring capacity [65536]
+    --validate                         enable the correctness harness
+                                       (shadow-memory oracle + invariant
+                                       walks) for run/peak/sweep; violations
+                                       go to stderr and fail the exit code
+    --walk-every <REQUESTS>            completed requests between invariant
+                                       walks in checked mode      [1024]
     --zero-copy                        l3fwd transmits in place
     --scenario <FILE>                  load a key=value scenario file first;
                                        later flags override its values
@@ -132,6 +144,8 @@ struct Cli {
     lo: f64,
     hi: f64,
     points: usize,
+    validate: bool,
+    walk_every: Option<u64>,
     zero_copy: bool,
     scenario: Option<String>,
     format: OutputFormat,
@@ -169,6 +183,8 @@ impl Default for Cli {
             lo: 2.0,
             hi: 60.0,
             points: 8,
+            validate: false,
+            walk_every: None,
             zero_copy: false,
             scenario: None,
             format: OutputFormat::Text,
@@ -217,7 +233,7 @@ fn parse(args: &[String]) -> Result<Cli, String> {
             .ok_or_else(|| "flag --scenario needs a value".to_string())?;
         apply_scenario(&mut cli, path)?;
     }
-    let mut it = args.iter();
+    let mut it = args.iter().peekable();
     cli.command = it.next().cloned().unwrap_or_else(|| "help".into());
     if cli.command == "figure" {
         cli.figure = Some(
@@ -226,6 +242,11 @@ fn parse(args: &[String]) -> Result<Cli, String> {
                 .cloned()
                 .ok_or_else(|| "command `figure` needs a name (see `sweeper figures`)".to_string())?,
         );
+    }
+    // `check` takes an *optional* positional figure name; peek so a flag in
+    // that position is left for the flag loop.
+    if cli.command == "check" && it.peek().is_some_and(|a| !a.starts_with("--")) {
+        cli.figure = it.next().cloned();
     }
     while let Some(flag) = it.next() {
         let mut value = |name: &str| -> Result<String, String> {
@@ -259,6 +280,8 @@ fn parse(args: &[String]) -> Result<Cli, String> {
             "--points" => cli.points = num(&value(flag)?)?,
             "--jobs" => cli.jobs = Some(num(&value(flag)?)?),
             "--profile" => cli.profile = Some(value(flag)?.parse()?),
+            "--validate" => cli.validate = true,
+            "--walk-every" => cli.walk_every = Some(num(&value(flag)?)?),
             "--zero-copy" => cli.zero_copy = true,
             "--scenario" => cli.scenario = Some(value(flag)?),
             "--format" => cli.format = value(flag)?.parse()?,
@@ -285,7 +308,19 @@ fn parse(args: &[String]) -> Result<Cli, String> {
     if cli.events == 0 {
         return Err("--events must be positive".to_string());
     }
+    if cli.walk_every.is_some() && !cli.validate && cli.command != "check" {
+        return Err("--walk-every needs --validate (or the check command)".to_string());
+    }
     Ok(cli)
+}
+
+/// The [`CheckConfig`] this invocation's `--validate`/`check` flags select.
+fn check_config(cli: &Cli) -> CheckConfig {
+    let mut check = CheckConfig::default();
+    if let Some(every) = cli.walk_every {
+        check.walk_every_requests = every;
+    }
+    check
 }
 
 fn num<T: std::str::FromStr>(s: &str) -> Result<T, String> {
@@ -336,6 +371,9 @@ fn build_experiment(cli: &Cli) -> Result<Experiment, String> {
             ..FlightRecorderConfig::default()
         });
     }
+    if cli.validate {
+        cfg = cfg.check(check_config(cli));
+    }
     if cli.command == "trace" {
         cfg = cfg.memtrace(cli.events);
     }
@@ -360,6 +398,34 @@ fn build_experiment(cli: &Cli) -> Result<Experiment, String> {
 
 fn print_report(report: &RunReport) {
     print!("{}", text_report(report, ReportStyle::default()));
+}
+
+/// Prints the `--validate` verdict for one report to stderr; `false` means
+/// the harness saw violations (the caller fails the exit code).
+fn check_passed(label: &str, report: &RunReport) -> bool {
+    let Some(check) = &report.check else {
+        return true;
+    };
+    if check.passed() {
+        eprintln!(
+            "validate [{label}]: pass ({} events mirrored, {} walks)",
+            check.events, check.walks
+        );
+        return true;
+    }
+    eprintln!(
+        "validate [{label}]: FAIL — {} violation(s)",
+        check.total_violations()
+    );
+    for (kind, n) in &check.violations {
+        if *n > 0 {
+            eprintln!("  {n} x {kind}");
+        }
+    }
+    for detail in &check.details {
+        eprintln!("  {detail}");
+    }
+    false
 }
 
 /// The manifest attached to this invocation's exports.
@@ -464,8 +530,11 @@ fn main() -> ExitCode {
     let cli = match parse(&args) {
         Ok(cli) => cli,
         Err(e) => {
+            // Argument errors are usage errors: one line, a pointer at the
+            // help text, and exit status 2 (distinct from runtime failures).
             eprintln!("error: {e}");
-            return ExitCode::FAILURE;
+            eprintln!("{USAGE}");
+            return ExitCode::from(2);
         }
     };
     match cli.command.as_str() {
@@ -520,6 +589,9 @@ fn main() -> ExitCode {
                     println!("== {} @ {:.1} Mrps offered ==", cli.workload, cli.rate);
                 }
                 emit_report(&report, cli.format, &manifest);
+                if !check_passed("run", &report) {
+                    return ExitCode::FAILURE;
+                }
                 ExitCode::SUCCESS
             }
             Err(e) => {
@@ -573,6 +645,9 @@ fn main() -> ExitCode {
                         print!("{}", sink.finish());
                     }
                 }
+                if !check_passed("peak", &peak.report) {
+                    return ExitCode::FAILURE;
+                }
                 ExitCode::SUCCESS
             }
             Err(e) => {
@@ -596,8 +671,28 @@ fn main() -> ExitCode {
                 let t = std::time::Instant::now();
                 // The parallel path runs the whole grid (no saturation
                 // early-exit); keep the sequential path's behavior when a
-                // single worker is requested.
-                let sweep = if fleet.jobs() > 1 {
+                // single worker is requested. A validated sweep retains the
+                // full per-point reports so each check section can be
+                // inspected after the CSV goes out.
+                let mut checked_reports: Vec<RunReport> = Vec::new();
+                let sweep = if cli.validate {
+                    let tasks: Vec<_> = grid
+                        .rates()
+                        .iter()
+                        .map(|&rate| {
+                            let exp = &exp;
+                            move || exp.run_at_rate(rate)
+                        })
+                        .collect();
+                    checked_reports = fleet.run_tasks(tasks);
+                    LoadSweep::from_points(
+                        grid.rates()
+                            .iter()
+                            .zip(&checked_reports)
+                            .map(|(&rate, report)| LoadPoint::from_report(rate, report))
+                            .collect(),
+                    )
+                } else if fleet.jobs() > 1 {
                     LoadSweep::run_parallel(&exp, &grid, &fleet)
                 } else {
                     LoadSweep::run(&exp, &grid, true)
@@ -617,6 +712,14 @@ fn main() -> ExitCode {
                 }
                 if let Some(knee) = sweep.knee() {
                     eprintln!("knee at ~{:.1} Mrps offered", knee.offered_rate / 1e6);
+                }
+                let mut all_pass = true;
+                for (&rate, report) in grid.rates().iter().zip(&checked_reports) {
+                    let label = format!("{:.1} Mrps", rate / 1e6);
+                    all_pass &= check_passed(&label, report);
+                }
+                if !all_pass {
+                    return ExitCode::FAILURE;
                 }
                 ExitCode::SUCCESS
             }
@@ -674,9 +777,121 @@ fn main() -> ExitCode {
                 }
             }
         }
+        "check" => {
+            let ctx = fig_context(&cli);
+            let figures: Vec<&'static dyn sweeper::bench::figs::Figure> =
+                match cli.figure.as_deref() {
+                    Some(name) => match sweeper::bench::figs::find(name) {
+                        Some(figure) => vec![figure],
+                        None => {
+                            eprintln!("error: unknown figure '{name}' (see `sweeper figures`)");
+                            return ExitCode::from(2);
+                        }
+                    },
+                    None => sweeper::bench::figs::registry().to_vec(),
+                };
+            let check = check_config(&cli);
+            eprintln!(
+                "checked mode: profile {}, walk every {} requests",
+                ctx.profile, check.walk_every_requests
+            );
+            let mut totals = [0u64; ViolationKind::ALL.len()];
+            let mut figure_records: Vec<Value> = Vec::new();
+            for figure in figures {
+                let points = figure.points(ctx.profile);
+                let n = points.len();
+                let outcomes = ctx.fleet.run_validation(points, check);
+                let mut counts = [0u64; ViolationKind::ALL.len()];
+                let (mut events, mut walks) = (0u64, 0u64);
+                let mut failed: Vec<String> = Vec::new();
+                let mut details: Vec<String> = Vec::new();
+                for outcome in &outcomes {
+                    let Some(c) = &outcome.report.check else {
+                        continue;
+                    };
+                    events += c.events;
+                    walks += c.walks;
+                    if !c.passed() {
+                        failed.push(outcome.label.clone());
+                    }
+                    for (kind, count) in &c.violations {
+                        counts[kind.index()] += count;
+                    }
+                    for detail in &c.details {
+                        if details.len() < 8 {
+                            details.push(format!("{}: {detail}", outcome.label));
+                        }
+                    }
+                }
+                let total: u64 = counts.iter().sum();
+                for (sum, &count) in totals.iter_mut().zip(&counts) {
+                    *sum += count;
+                }
+                if total == 0 {
+                    println!(
+                        "{:<10} pass  ({n} points, {events} events mirrored, {walks} walks)",
+                        figure.name()
+                    );
+                } else {
+                    println!(
+                        "{:<10} FAIL  ({total} violations across {} of {n} points)",
+                        figure.name(),
+                        failed.len()
+                    );
+                    for detail in &details {
+                        println!("    {detail}");
+                    }
+                }
+                let mut violations = Record::new();
+                for (kind, &count) in ViolationKind::ALL.iter().zip(&counts) {
+                    if count > 0 {
+                        violations.push(kind.name(), count);
+                    }
+                }
+                figure_records.push(Value::from(
+                    Record::new()
+                        .with("figure", figure.name())
+                        .with("points", n as u64)
+                        .with("events", events)
+                        .with("walks", walks)
+                        .with("violations_total", total)
+                        .with("violations", violations)
+                        .with(
+                            "failed_points",
+                            failed
+                                .iter()
+                                .map(|label| Value::from(label.as_str()))
+                                .collect::<Vec<_>>(),
+                        ),
+                ));
+            }
+            println!("per-invariant summary:");
+            for (kind, &total) in ViolationKind::ALL.iter().zip(&totals) {
+                if total == 0 {
+                    println!("  {:<30} pass", kind.name());
+                } else {
+                    println!("  {:<30} FAIL ({total})", kind.name());
+                }
+            }
+            if cli.format == OutputFormat::Json {
+                let manifest = RunManifest::new()
+                    .profile(ctx.profile.to_string())
+                    .seed(cli.seed);
+                let doc = check_document(figure_records, &manifest);
+                println!("{}", doc.to_json_pretty());
+            }
+            if totals.iter().all(|&n| n == 0) {
+                println!("check: all invariants pass");
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("check: FAIL");
+                ExitCode::FAILURE
+            }
+        }
         other => {
-            eprintln!("error: unknown command '{other}' (see `sweeper help`)");
-            ExitCode::FAILURE
+            eprintln!("error: unknown command '{other}'");
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
         }
     }
 }
